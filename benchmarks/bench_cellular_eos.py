@@ -1,0 +1,108 @@
+"""Hypothesis 2 / Section 6.1: Cellular — EOS-module truncation.
+
+Truncates only the tabulated-EOS module of the Cellular detonation and
+records whether the Newton–Raphson inversion still converges, as a function
+of mantissa width.
+
+Expected shape (paper): the inversion stops converging below a mantissa
+threshold in the tens of bits (the paper reports ~42 with Flash-X's
+tolerance; the synthetic table's threshold sits somewhat lower), and
+relaxing the tolerance / raising the iteration count does not rescue very
+low precisions — falsifying the intuition that a table-based EOS tolerates
+reduced precision.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RaptorRuntime
+from repro.eos import NewtonSolverConfig
+from repro.workloads import CellularConfig, CellularWorkload
+
+from conftest import FULL_SWEEP, print_table, save_results
+
+MANTISSAS = tuple(range(8, 53, 4)) if FULL_SWEEP else (8, 16, 24, 32, 40, 48, 52)
+
+
+def run_experiment():
+    workload = CellularWorkload(CellularConfig(n_cells=48, n_steps=10))
+    records = []
+
+    reference = workload.run()
+    records.append(
+        {
+            "man_bits": 52,
+            "policy": "none",
+            "converged": reference.eos_converged,
+            "failed_steps": reference.failed_newton_steps,
+            "burned_fraction": reference.final_burned_fraction,
+            "front_advance": reference.front_positions[-1] - reference.front_positions[0],
+        }
+    )
+
+    for man_bits in MANTISSAS:
+        rt = RaptorRuntime(f"cellular-eos-{man_bits}")
+        policy = workload.eos_policy(man_bits, runtime=rt)
+        result = workload.run(policy=policy, runtime=rt)
+        records.append(
+            {
+                "man_bits": man_bits,
+                "policy": "eos-truncated",
+                "converged": result.eos_converged,
+                "failed_steps": result.failed_newton_steps,
+                "burned_fraction": result.final_burned_fraction,
+                "front_advance": result.front_positions[-1] - result.front_positions[0],
+            }
+        )
+
+    # relaxed-tolerance attempt at very low precision (the paper's rescue attempt)
+    relaxed = CellularWorkload(
+        CellularConfig(n_cells=48, n_steps=10, newton=NewtonSolverConfig(tolerance=1e-7, max_iterations=120))
+    )
+    rt = RaptorRuntime("cellular-eos-relaxed")
+    result = relaxed.run(policy=relaxed.eos_policy(10, runtime=rt), runtime=rt)
+    records.append(
+        {
+            "man_bits": 10,
+            "policy": "eos-truncated-relaxed-tolerance",
+            "converged": result.eos_converged,
+            "failed_steps": result.failed_newton_steps,
+            "burned_fraction": result.final_burned_fraction,
+            "front_advance": result.front_positions[-1] - result.front_positions[0],
+        }
+    )
+    return records
+
+
+@pytest.mark.benchmark(group="cellular")
+def test_cellular_eos_truncation_convergence(benchmark):
+    records = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [r["policy"], r["man_bits"], "yes" if r["converged"] else "NO",
+         r["failed_steps"], f"{r['burned_fraction']:.3f}", f"{r['front_advance']:.1f}"]
+        for r in records
+    ]
+    print_table(
+        "Cellular — Newton-Raphson convergence of the truncated EOS module",
+        ["policy", "mantissa", "converged", "failed steps", "burned frac", "front advance (cm)"],
+        rows,
+    )
+    save_results("cellular_eos", records)
+
+    truncated = {r["man_bits"]: r for r in records if r["policy"] == "eos-truncated"}
+    reference = next(r for r in records if r["policy"] == "none")
+    relaxed = next(r for r in records if r["policy"] == "eos-truncated-relaxed-tolerance")
+
+    # the reference and the widest truncated run converge
+    assert reference["converged"]
+    assert truncated[max(MANTISSAS)]["converged"]
+    # narrow mantissas fail (Hypothesis 2 falsified)
+    assert not truncated[min(MANTISSAS)]["converged"]
+    # convergence is monotone in the mantissa width
+    outcomes = [truncated[m]["converged"] for m in sorted(truncated)]
+    first_success = outcomes.index(True)
+    assert all(outcomes[first_success:]) and not any(outcomes[:first_success])
+    # relaxing the tolerance does not rescue 10-bit mantissas
+    assert not relaxed["converged"]
+    # the detonation itself still propagates in the reference
+    assert reference["front_advance"] > 0

@@ -1,0 +1,89 @@
+"""Figure 7a: Sedov — L1 density error and FP-op counts vs mantissa width.
+
+For every refinement cutoff (M−0 … M−3) the hydro module is truncated to a
+sweep of mantissa widths; the L1 error of the density field against the
+full-precision reference (sfocu) and the truncated / full operation counts
+are reported, reproducing the panels of Figure 7a.
+
+Expected shape (paper): excluding the finest AMR level (M−1) drops the error
+by many orders of magnitude for small mantissas, and the truncated share of
+the operations shrinks as the cutoff is coarsened.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AMRCutoffPolicy, RaptorRuntime, TruncationConfig
+from repro.workloads import SedovConfig, SedovWorkload
+
+from conftest import MANTISSA_POINTS, print_table, save_results
+
+CUTOFFS = (0, 1, 2, 3)
+
+
+def _workload() -> SedovWorkload:
+    return SedovWorkload(
+        SedovConfig(
+            nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3,
+            t_end=0.02, rk_stages=1, reconstruction="plm",
+        )
+    )
+
+
+def run_experiment():
+    workload = _workload()
+    reference = workload.reference()
+    rows = []
+    series = {}
+    for cutoff in CUTOFFS:
+        series[cutoff] = []
+        for man_bits in MANTISSA_POINTS:
+            runtime = RaptorRuntime(f"sedov-m{cutoff}-{man_bits}")
+            policy = AMRCutoffPolicy(
+                TruncationConfig.mantissa(man_bits, exp_bits=11),
+                cutoff=cutoff,
+                modules=["hydro"],
+                runtime=runtime,
+            )
+            run = workload.run(policy=policy, runtime=runtime)
+            error = run.l1_error(reference, "dens")
+            gflops_trunc, gflops_full = run.giga_flops()
+            record = {
+                "cutoff": f"M-{cutoff}",
+                "man_bits": man_bits,
+                "l1_dens": error,
+                "truncated_fraction": run.truncated_fraction,
+                "giga_ops_truncated": gflops_trunc,
+                "giga_ops_full": gflops_full,
+                "n_leaves": run.info["n_leaves"],
+            }
+            series[cutoff].append(record)
+            rows.append(
+                [f"M-{cutoff}", man_bits, f"{error:.3e}", f"{run.truncated_fraction:.1%}",
+                 f"{gflops_trunc:.4f}", f"{gflops_full:.4f}"]
+            )
+    return rows, series
+
+
+@pytest.mark.benchmark(group="figure7a")
+def test_fig7a_sedov_error_vs_mantissa(benchmark):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "Figure 7a — Sedov: L1 density error vs mantissa bits per AMR cutoff",
+        ["cutoff", "mantissa", "L1(dens)", "trunc ops", "Gops trunc", "Gops full"],
+        rows,
+    )
+    save_results("fig7a_sedov", series)
+
+    # shape assertions mirroring the paper's observations
+    by_cutoff = {c: {r["man_bits"]: r for r in recs} for c, recs in series.items()}
+    smallest = min(MANTISSA_POINTS)
+    # 1. at the smallest mantissa, excluding the finest level reduces the error
+    assert by_cutoff[1][smallest]["l1_dens"] < by_cutoff[0][smallest]["l1_dens"]
+    # 2. the truncated fraction shrinks monotonically as the cutoff coarsens
+    widest = max(MANTISSA_POINTS)
+    fracs = [by_cutoff[c][widest]["truncated_fraction"] for c in CUTOFFS]
+    assert all(fracs[i] >= fracs[i + 1] for i in range(len(fracs) - 1))
+    # 3. full truncation error decreases (weakly) with more mantissa bits
+    errs = [by_cutoff[0][m]["l1_dens"] for m in MANTISSA_POINTS]
+    assert errs[-1] <= errs[0]

@@ -1,0 +1,52 @@
+"""Table 4: performance density of FPUs for various precisions (FPNew data).
+
+Regenerates the table and checks the normalised performance-density column
+against the paper's values, plus the area ratio (A_dbl : A_low = 1.39) the
+co-design model derives from it.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.codesign import area_ratio, normalized_performance_density, performance_density, table4_rows
+from repro.core import FPFormat
+
+from conftest import print_table, save_results
+
+PAPER_VALUES = {"fp64": 1.00, "fp32": 2.65, "fp16": 7.30, "fp8": 18.41}
+
+
+def run_experiment():
+    rows = table4_rows()
+    # extend with a few extrapolated formats used elsewhere in the harness
+    for fmt, label in ((FPFormat(8, 7), "bf16*"), (FPFormat(11, 36), "e11m36*"), (FPFormat(5, 14), "e5m14*")):
+        rows.append(
+            {
+                "type": label,
+                "exp_bits": fmt.exp_bits,
+                "man_bits": fmt.man_bits,
+                "gflops": None,
+                "area_kge": None,
+                "perf_density_normalized": round(normalized_performance_density(fmt), 2),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_fpu_performance_density(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "Table 4 — FPU performance density (FPNew data, * = extrapolated)",
+        ["type", "exp", "man", "GFLOP/s", "area (kGE)", "norm. perf density"],
+        [[r["type"], r["exp_bits"], r["man_bits"], r["gflops"], r["area_kge"], r["perf_density_normalized"]] for r in rows],
+    )
+    save_results("table4_fpu", rows)
+
+    by_type = {r["type"]: r for r in rows}
+    for name, expected in PAPER_VALUES.items():
+        assert by_type[name]["perf_density_normalized"] == pytest.approx(expected, rel=0.01)
+    # extrapolation is monotone: narrower formats have higher density
+    assert performance_density(FPFormat(5, 14)) > performance_density(FPFormat(11, 36))
+    # the derived area ratio matches the paper's 1.39 to within model slack
+    assert area_ratio() == pytest.approx(1.39, rel=0.08)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Mem-mode numerical debugging of the Sedov problem (Section 6.3 workflow).
+
+Demonstrates the Table 2 methodology:
+
+1. truncate the whole hydro module of a small Sedov run in mem-mode, with a
+   fixed time step so dynamic time stepping cannot mask the inaccuracies;
+2. inspect the deviation heat-map — operations whose truncated result drifts
+   from the FP64 shadow by more than a threshold, grouped by solver stage;
+3. exclude the most-flagged stage from truncation and re-run;
+4. compare the sfocu error norms of the two runs.
+
+Run:  python examples/memmode_debugging.py
+"""
+from repro.core import GlobalPolicy, Mode, RaptorRuntime, TruncationConfig, format_table
+from repro.workloads import SedovConfig, SedovWorkload
+
+MAN_BITS = 12
+
+
+def run_memmode(workload, reference, excluded=()):
+    runtime = RaptorRuntime(f"memmode-{'-'.join(excluded) or 'baseline'}")
+    config = TruncationConfig.mantissa(MAN_BITS, exp_bits=11, mode=Mode.MEM, deviation_threshold=1e-7)
+    policy = GlobalPolicy(config, runtime=runtime)
+    ctx = policy.context_for(module="hydro")
+    ctx.exclude(*excluded)
+    run = workload.run(policy=policy, runtime=runtime)
+    errors = run.errors(reference, ("dens", "velx"))
+    return run, ctx.report(), errors
+
+
+def main() -> None:
+    workload = SedovWorkload(
+        SedovConfig(
+            nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+            t_end=0.01, rk_stages=1, fixed_dt=5e-4, regrid_interval=0,
+        )
+    )
+    print("Running the full-precision reference ...")
+    reference = workload.reference()
+
+    print(f"Truncating the hydro module to {MAN_BITS} mantissa bits in mem-mode ...")
+    baseline_run, report, baseline_errors = run_memmode(workload, reference)
+
+    print()
+    print("Deviation heat-map (top flagged operation sites):")
+    print(report.to_text())
+
+    flagged = report.flagged_labels()
+    most_flagged_stage = None
+    for label in flagged:
+        stage = label.split(":")[0]
+        if stage in ("recon", "riemann", "update"):
+            most_flagged_stage = stage
+            break
+    most_flagged_stage = most_flagged_stage or "recon"
+    print(f"\nMost flagged solver stage: {most_flagged_stage!r} — excluding it and re-running ...")
+
+    excluded_run, _, excluded_errors = run_memmode(workload, reference, excluded=(most_flagged_stage,))
+
+    rows = [
+        ["Baseline (truncate hydro)", f"{baseline_errors['dens']:.3e}", f"{baseline_errors['velx']:.3e}",
+         f"{baseline_run.truncated_fraction:.1%}"],
+        [f"Exclude {most_flagged_stage}", f"{excluded_errors['dens']:.3e}", f"{excluded_errors['velx']:.3e}",
+         f"{excluded_run.truncated_fraction:.1%}"],
+    ]
+    print()
+    print(format_table(["excluded modules", "L1(density)", "L1(x-velocity)", "truncated FP ops"], rows))
+    print(
+        "\nAs in the paper, excluding a single stage changes the errors only\n"
+        "moderately: no single part of the solver owns the numerical\n"
+        "sensitivity, which is exactly why an interactive profiling tool is\n"
+        "needed to explore truncation strategies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Sedov blast wave: which AMR levels can run at reduced precision?
+
+Reproduces the Section 6.1 methodology on a laptop-sized Sedov problem:
+
+1. run the full-precision reference,
+2. truncate the hydro module globally (M−0) for a sweep of mantissa widths,
+3. repeat with the finest AMR level excluded (M−1) and the two finest
+   excluded (M−2),
+4. report the sfocu L1 density error and the truncated-operation share for
+   every combination — the data behind Figure 7a.
+
+Run:  python examples/sedov_precision_profile.py
+"""
+from repro.core import AMRCutoffPolicy, RaptorRuntime, TruncationConfig, format_table
+from repro.workloads import SedovConfig, SedovWorkload
+
+MANTISSAS = (4, 8, 12, 23, 36, 52)
+CUTOFFS = (0, 1, 2)
+
+
+def main() -> None:
+    workload = SedovWorkload(
+        SedovConfig(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3, t_end=0.02, rk_stages=1)
+    )
+    print("Running the full-precision reference ...")
+    reference = workload.reference()
+    print(
+        f"  reference: {int(reference.info['steps'])} steps, "
+        f"{int(reference.info['n_leaves'])} leaf blocks, finest level {int(reference.info['finest_level'])}"
+    )
+
+    rows = []
+    for cutoff in CUTOFFS:
+        for man_bits in MANTISSAS:
+            runtime = RaptorRuntime(f"sedov-M{cutoff}-{man_bits}")
+            policy = AMRCutoffPolicy(
+                TruncationConfig.mantissa(man_bits, exp_bits=11),
+                cutoff=cutoff,
+                modules=["hydro"],
+                runtime=runtime,
+            )
+            run = workload.run(policy=policy, runtime=runtime)
+            rows.append(
+                [
+                    f"M-{cutoff}",
+                    man_bits,
+                    f"{run.l1_error(reference, 'dens'):.3e}",
+                    f"{run.truncated_fraction:.1%}",
+                    int(run.info["n_leaves"]),
+                ]
+            )
+            print(f"  done: cutoff M-{cutoff}, mantissa {man_bits}")
+
+    print()
+    print("Sedov: L1 density error vs mantissa width and refinement cutoff")
+    print(format_table(["cutoff", "mantissa bits", "L1(dens)", "truncated ops", "leaves"], rows))
+    print()
+    print(
+        "Interpretation: with the finest level excluded from truncation (M-1),\n"
+        "the error at small mantissa widths drops sharply compared to M-0 -\n"
+        "the shock is protected while the quiescent regions run at low precision\n"
+        "(Hypothesis 1 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Block-structured AMR substrate (PARAMESH / AmReX analogue for Flash-X)."""
+from .block import Block, BlockKey
+from .grid import AMRGrid, RegridSummary
+from .refinement import block_error, gradient_error, lohner_error, prolong, restrict
+
+__all__ = [
+    "Block",
+    "BlockKey",
+    "AMRGrid",
+    "RegridSummary",
+    "lohner_error",
+    "gradient_error",
+    "block_error",
+    "prolong",
+    "restrict",
+]

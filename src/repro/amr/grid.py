@@ -1,0 +1,575 @@
+"""Block-structured adaptive mesh refinement grid (2-D quadtree).
+
+This is the reproduction's stand-in for PARAMESH/AmReX as used by Flash-X:
+
+* the domain is covered by equal-size blocks organised in a quadtree;
+* every block carries the same number of cells, so a block one level finer
+  resolves twice the spatial resolution;
+* only leaf blocks carry the evolving solution;
+* refinement follows an error estimator (Löhner by default) and maintains
+  proper nesting (adjacent leaves differ by at most one level);
+* guard-cell (ghost) regions are filled from same-level neighbours, from
+  coarser neighbours by prolongation, from finer neighbours by restriction,
+  and from the domain boundary conditions.
+
+The physics solvers never look at the tree: they receive one block at a
+time with filled guard cells, which is exactly the Flash-X solver contract
+the paper's per-block (M−l cutoff) truncation policies rely on.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .block import Block, BlockKey
+from .refinement import block_error, lohner_error, prolong, restrict
+
+__all__ = ["AMRGrid", "RegridSummary"]
+
+_SIDES = ("-x", "+x", "-y", "+y")
+_OFFSETS = {"-x": (-1, 0), "+x": (1, 0), "-y": (0, -1), "+y": (0, 1)}
+
+
+class RegridSummary:
+    """Outcome of one regrid pass."""
+
+    def __init__(self, refined: int, derefined: int, n_leaves: int, max_level: int) -> None:
+        self.refined = refined
+        self.derefined = derefined
+        self.n_leaves = n_leaves
+        self.max_level = max_level
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegridSummary(refined={self.refined}, derefined={self.derefined}, "
+            f"leaves={self.n_leaves}, max_level={self.max_level})"
+        )
+
+
+class AMRGrid:
+    """A 2-D block-structured AMR hierarchy.
+
+    Parameters
+    ----------
+    variables:
+        Names of the cell-centred variables carried by every block.
+    xlim, ylim:
+        Physical domain bounds.
+    nxb, nyb:
+        Cells per block in x and y (must be even and >= 2*ng).
+    n_root_x, n_root_y:
+        Number of level-1 (root) blocks in each direction.
+    max_level:
+        Maximum refinement level (level 1 = root).
+    ng:
+        Guard-cell width (3 supports the WENO5 stencil).
+    boundary:
+        "outflow" (zero gradient), "periodic", or "reflect".
+    reflect_vars:
+        For reflecting boundaries: mapping direction ('x' or 'y') to the
+        variable whose sign flips across that boundary (normal velocity).
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        xlim: Tuple[float, float] = (0.0, 1.0),
+        ylim: Tuple[float, float] = (0.0, 1.0),
+        nxb: int = 8,
+        nyb: int = 8,
+        n_root_x: int = 1,
+        n_root_y: int = 1,
+        max_level: int = 3,
+        ng: int = 3,
+        boundary: str = "outflow",
+        reflect_vars: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if nxb % 2 or nyb % 2:
+            raise ValueError("nxb and nyb must be even")
+        if nxb < 2 * ng or nyb < 2 * ng:
+            raise ValueError("blocks must hold at least 2*ng interior cells per direction")
+        if max_level < 1:
+            raise ValueError("max_level must be >= 1")
+        if boundary not in ("outflow", "periodic", "reflect"):
+            raise ValueError(f"unknown boundary condition {boundary!r}")
+
+        self.variables = list(variables)
+        self.xlim = (float(xlim[0]), float(xlim[1]))
+        self.ylim = (float(ylim[0]), float(ylim[1]))
+        self.nxb = int(nxb)
+        self.nyb = int(nyb)
+        self.n_root_x = int(n_root_x)
+        self.n_root_y = int(n_root_y)
+        self.max_level = int(max_level)
+        self.ng = int(ng)
+        self.boundary = boundary
+        self.reflect_vars = reflect_vars or {"x": "velx", "y": "vely"}
+
+        self.leaves: Dict[BlockKey, Block] = {}
+        for ix in range(self.n_root_x):
+            for iy in range(self.n_root_y):
+                key = (1, ix, iy)
+                self.leaves[key] = self._new_block(key)
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def blocks_along_x(self, level: int) -> int:
+        return self.n_root_x * (1 << (level - 1))
+
+    def blocks_along_y(self, level: int) -> int:
+        return self.n_root_y * (1 << (level - 1))
+
+    def _block_bounds(self, key: BlockKey) -> Tuple[float, float, float, float]:
+        level, ix, iy = key
+        sx = (self.xlim[1] - self.xlim[0]) / self.blocks_along_x(level)
+        sy = (self.ylim[1] - self.ylim[0]) / self.blocks_along_y(level)
+        xlo = self.xlim[0] + ix * sx
+        ylo = self.ylim[0] + iy * sy
+        return xlo, xlo + sx, ylo, ylo + sy
+
+    def _new_block(self, key: BlockKey) -> Block:
+        xlo, xhi, ylo, yhi = self._block_bounds(key)
+        block = Block(key, self.nxb, self.nyb, self.ng, xlo, xhi, ylo, yhi)
+        block.allocate(self.variables)
+        return block
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def sorted_keys(self) -> List[BlockKey]:
+        return sorted(self.leaves.keys())
+
+    def blocks(self) -> List[Block]:
+        """Leaf blocks in deterministic (sorted-key) order."""
+        return [self.leaves[k] for k in self.sorted_keys()]
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def finest_level(self) -> int:
+        """Finest level currently present in the hierarchy."""
+        return max(k[0] for k in self.leaves)
+
+    def leaf_levels(self) -> Dict[int, int]:
+        """Histogram of leaf counts per level."""
+        hist: Dict[int, int] = {}
+        for level, _, _ in self.leaves:
+            hist[level] = hist.get(level, 0) + 1
+        return dict(sorted(hist.items()))
+
+    # ------------------------------------------------------------------
+    # initialisation
+    # ------------------------------------------------------------------
+    def initialize(self, init_fn: Callable[[np.ndarray, np.ndarray], Dict[str, np.ndarray]]) -> None:
+        """Apply an initial condition ``init_fn(x, y) -> {var: values}`` to
+        every leaf block's interior, then fill guard cells."""
+        for block in self.blocks():
+            x, y = block.cell_mesh()
+            fields = init_fn(x, y)
+            for name, values in fields.items():
+                if name in block.data:
+                    block.set_interior(name, values)
+        self.fill_guard_cells()
+
+    def initialize_with_refinement(
+        self,
+        init_fn: Callable[[np.ndarray, np.ndarray], Dict[str, np.ndarray]],
+        refine_vars: Sequence[str],
+        refine_cutoff: float = 0.8,
+        derefine_cutoff: float = 0.2,
+        passes: Optional[int] = None,
+    ) -> None:
+        """Initialise and iteratively refine until the initial condition is
+        resolved (the standard Flash-X start-up sequence)."""
+        if passes is None:
+            passes = self.max_level
+        self.initialize(init_fn)
+        for _ in range(passes):
+            summary = self.regrid(refine_vars, refine_cutoff, derefine_cutoff)
+            self.initialize(init_fn)
+            if summary.refined == 0:
+                break
+
+    # ------------------------------------------------------------------
+    # neighbours
+    # ------------------------------------------------------------------
+    def _wrap_index(self, level: int, nix: int, niy: int) -> Optional[Tuple[int, int]]:
+        nbx, nby = self.blocks_along_x(level), self.blocks_along_y(level)
+        if self.boundary == "periodic":
+            return nix % nbx, niy % nby
+        if 0 <= nix < nbx and 0 <= niy < nby:
+            return nix, niy
+        return None
+
+    def neighbor(self, key: BlockKey, side: str) -> Tuple[str, object]:
+        """Locate the neighbour of a leaf across ``side``.
+
+        Returns one of ``("same", key)``, ``("coarse", key)``,
+        ``("fine", [key_low, key_high])`` (ordered along the transverse
+        direction), or ``("boundary", None)``.
+        """
+        level, ix, iy = key
+        di, dj = _OFFSETS[side]
+        wrapped = self._wrap_index(level, ix + di, iy + dj)
+        if wrapped is None:
+            return ("boundary", None)
+        nix, niy = wrapped
+
+        same = (level, nix, niy)
+        if same in self.leaves:
+            return ("same", same)
+
+        if level > 1:
+            coarse = (level - 1, nix // 2, niy // 2)
+            if coarse in self.leaves:
+                return ("coarse", coarse)
+
+        # finer neighbours: the two children of `same` that touch our face
+        if side == "-x":
+            fine = [(level + 1, 2 * nix + 1, 2 * niy), (level + 1, 2 * nix + 1, 2 * niy + 1)]
+        elif side == "+x":
+            fine = [(level + 1, 2 * nix, 2 * niy), (level + 1, 2 * nix, 2 * niy + 1)]
+        elif side == "-y":
+            fine = [(level + 1, 2 * nix, 2 * niy + 1), (level + 1, 2 * nix + 1, 2 * niy + 1)]
+        else:  # "+y"
+            fine = [(level + 1, 2 * nix, 2 * niy), (level + 1, 2 * nix + 1, 2 * niy)]
+        if all(k in self.leaves for k in fine):
+            return ("fine", fine)
+
+        raise RuntimeError(
+            f"proper nesting violated: no neighbour found for {key} on side {side}"
+        )
+
+    # ------------------------------------------------------------------
+    # guard-cell filling
+    # ------------------------------------------------------------------
+    def fill_guard_cells(self, variables: Optional[Iterable[str]] = None) -> None:
+        """Fill the guard cells of every leaf for the given variables.
+
+        Corners are filled with the nearest interior value; the dimension-by-
+        dimension solvers only consume face guard cells, so corners only need
+        to hold finite values.
+        """
+        names = list(variables) if variables is not None else self.variables
+        for key in self.sorted_keys():
+            block = self.leaves[key]
+            for name in names:
+                self._fill_block_guards(block, name)
+
+    def _fill_block_guards(self, block: Block, name: str) -> None:
+        ng, nxb, nyb = self.ng, self.nxb, self.nyb
+        data = block.data[name]
+
+        for side in _SIDES:
+            kind, info = self.neighbor(block.key, side)
+            strip = self._neighbor_strip(block, name, side, kind, info)
+            if side == "-x":
+                data[0:ng, ng:ng + nyb] = strip
+            elif side == "+x":
+                data[ng + nxb:, ng:ng + nyb] = strip
+            elif side == "-y":
+                data[ng:ng + nxb, 0:ng] = strip
+            else:
+                data[ng:ng + nxb, ng + nyb:] = strip
+
+        # corners: nearest interior value (never consumed by the solvers)
+        data[0:ng, 0:ng] = data[ng, ng]
+        data[0:ng, ng + nyb:] = data[ng, ng + nyb - 1]
+        data[ng + nxb:, 0:ng] = data[ng + nxb - 1, ng]
+        data[ng + nxb:, ng + nyb:] = data[ng + nxb - 1, ng + nyb - 1]
+
+    def _neighbor_strip(
+        self, block: Block, name: str, side: str, kind: str, info
+    ) -> np.ndarray:
+        """Compute the guard-cell strip for one side of one block."""
+        ng, nxb, nyb = self.ng, self.nxb, self.nyb
+
+        if kind == "boundary":
+            return self._boundary_strip(block, name, side)
+
+        if kind == "same":
+            nb = self.leaves[info]
+            src = nb.data[name]
+            if side == "-x":
+                return src[nxb:nxb + ng, ng:ng + nyb]
+            if side == "+x":
+                return src[ng:2 * ng, ng:ng + nyb]
+            if side == "-y":
+                return src[ng:ng + nxb, nyb:nyb + ng]
+            return src[ng:ng + nxb, ng:2 * ng]
+
+        if kind == "coarse":
+            return self._coarse_strip(block, name, side, info)
+
+        # fine
+        return self._fine_strip(block, name, side, info)
+
+    def _boundary_strip(self, block: Block, name: str, side: str) -> np.ndarray:
+        ng, nxb, nyb = self.ng, self.nxb, self.nyb
+        data = block.data[name]
+        if side in ("-x", "+x"):
+            edge = data[ng, ng:ng + nyb] if side == "-x" else data[ng + nxb - 1, ng:ng + nyb]
+            if self.boundary == "outflow":
+                return np.tile(edge, (ng, 1))
+            # reflect
+            if side == "-x":
+                strip = data[ng:2 * ng, ng:ng + nyb][::-1, :].copy()
+            else:
+                strip = data[nxb:nxb + ng, ng:ng + nyb][::-1, :].copy()
+            if name == self.reflect_vars.get("x"):
+                strip = -strip
+            return strip
+        edge = data[ng:ng + nxb, ng] if side == "-y" else data[ng:ng + nxb, ng + nyb - 1]
+        if self.boundary == "outflow":
+            return np.tile(edge[:, None], (1, ng))
+        if side == "-y":
+            strip = data[ng:ng + nxb, ng:2 * ng][:, ::-1].copy()
+        else:
+            strip = data[ng:ng + nxb, nyb:nyb + ng][:, ::-1].copy()
+        if name == self.reflect_vars.get("y"):
+            strip = -strip
+        return strip
+
+    def _coarse_strip(self, block: Block, name: str, side: str, ckey: BlockKey) -> np.ndarray:
+        """Guard strip taken from a coarser neighbour (prolongation)."""
+        ng, nxb, nyb = self.ng, self.nxb, self.nyb
+        nb = self.leaves[ckey]
+        src = nb.data[name]
+        ngc = (ng + 1) // 2  # coarse cells needed to cover ng fine cells
+
+        _, ix, iy = block.key
+        if side in ("-x", "+x"):
+            # our block covers the lower or upper half of the coarse
+            # neighbour's y extent
+            j0 = ng + (iy % 2) * (nyb // 2)
+            if side == "-x":
+                patch = src[ng + nxb - ngc:ng + nxb, j0:j0 + nyb // 2]
+                fine = prolong(patch)
+                return fine[-ng:, :]
+            patch = src[ng:ng + ngc, j0:j0 + nyb // 2]
+            fine = prolong(patch)
+            return fine[:ng, :]
+        i0 = ng + (ix % 2) * (nxb // 2)
+        if side == "-y":
+            patch = src[i0:i0 + nxb // 2, ng + nyb - ngc:ng + nyb]
+            fine = prolong(patch)
+            return fine[:, -ng:]
+        patch = src[i0:i0 + nxb // 2, ng:ng + ngc]
+        fine = prolong(patch)
+        return fine[:, :ng]
+
+    def _fine_strip(self, block: Block, name: str, side: str, fine_keys: List[BlockKey]) -> np.ndarray:
+        """Guard strip taken from two finer neighbours (restriction)."""
+        ng, nxb, nyb = self.ng, self.nxb, self.nyb
+        lo, hi = (self.leaves[k] for k in sorted(fine_keys, key=lambda k: (k[2], k[1])))
+
+        if side in ("-x", "+x"):
+            pieces = []
+            for nb in (lo, hi):
+                src = nb.data[name]
+                if side == "-x":
+                    patch = src[ng + nxb - 2 * ng:ng + nxb, ng:ng + nyb]
+                else:
+                    patch = src[ng:ng + 2 * ng, ng:ng + nyb]
+                pieces.append(restrict(patch))
+            return np.concatenate(pieces, axis=1)
+        pieces = []
+        for nb in (lo, hi):
+            src = nb.data[name]
+            if side == "-y":
+                patch = src[ng:ng + nxb, ng + nyb - 2 * ng:ng + nyb]
+            else:
+                patch = src[ng:ng + nxb, ng:ng + 2 * ng]
+            pieces.append(restrict(patch))
+        return np.concatenate(pieces, axis=0)
+
+    # ------------------------------------------------------------------
+    # refinement / derefinement
+    # ------------------------------------------------------------------
+    def refine_block(self, key: BlockKey) -> List[BlockKey]:
+        """Split a leaf into its four children (piecewise-constant prolongation)."""
+        if key not in self.leaves:
+            raise KeyError(f"{key} is not a leaf")
+        parent = self.leaves.pop(key)
+        children: List[BlockKey] = []
+        for child_key in parent.child_keys():
+            child = self._new_block(child_key)
+            _, cix, ciy = child_key
+            ox = (cix % 2) * (self.nxb // 2)
+            oy = (ciy % 2) * (self.nyb // 2)
+            for name in self.variables:
+                coarse_patch = parent.interior_view(name)[ox:ox + self.nxb // 2, oy:oy + self.nyb // 2]
+                child.set_interior(name, prolong(coarse_patch))
+            self.leaves[child_key] = child
+            children.append(child_key)
+        return children
+
+    def derefine_siblings(self, parent_key: BlockKey) -> BlockKey:
+        """Merge the four children of ``parent_key`` back into one leaf."""
+        level, ix, iy = parent_key
+        child_keys = [
+            (level + 1, 2 * ix, 2 * iy),
+            (level + 1, 2 * ix + 1, 2 * iy),
+            (level + 1, 2 * ix, 2 * iy + 1),
+            (level + 1, 2 * ix + 1, 2 * iy + 1),
+        ]
+        if not all(k in self.leaves for k in child_keys):
+            raise KeyError(f"not all children of {parent_key} are leaves")
+        parent = self._new_block(parent_key)
+        for child_key in child_keys:
+            child = self.leaves.pop(child_key)
+            _, cix, ciy = child_key
+            ox = (cix % 2) * (self.nxb // 2)
+            oy = (ciy % 2) * (self.nyb // 2)
+            for name in self.variables:
+                parent.interior_view(name)[ox:ox + self.nxb // 2, oy:oy + self.nyb // 2] = restrict(
+                    child.interior_view(name)
+                )
+        self.leaves[parent_key] = parent
+        return parent_key
+
+    def _neighbor_keys_all(self, key: BlockKey) -> List[Tuple[str, object]]:
+        return [self.neighbor(key, side) for side in _SIDES]
+
+    def regrid(
+        self,
+        refine_vars: Sequence[str],
+        refine_cutoff: float = 0.8,
+        derefine_cutoff: float = 0.2,
+        estimator=lohner_error,
+    ) -> RegridSummary:
+        """One refinement/derefinement pass driven by the error estimator.
+
+        The estimator is evaluated on the *current* (possibly truncated)
+        solution — this is how aggressive truncation perturbs the AMR
+        decisions and the operation counts in the paper (Figure 7).
+        """
+        self.fill_guard_cells(refine_vars)
+        errors = {
+            key: block_error(self.leaves[key], refine_vars, estimator=estimator)
+            for key in self.sorted_keys()
+        }
+
+        refine = {
+            key
+            for key, err in errors.items()
+            if err > refine_cutoff and key[0] < self.max_level
+        }
+
+        # proper nesting: a refined block may not touch a leaf two levels
+        # coarser, so coarse neighbours of marked blocks must refine as well.
+        changed = True
+        while changed:
+            changed = False
+            for key in list(refine):
+                for kind, info in self._neighbor_keys_all(key):
+                    if kind == "coarse" and info not in refine:
+                        if info in self.leaves and info[0] < self.max_level:
+                            refine.add(info)
+                            changed = True
+
+        n_refined = 0
+        for key in sorted(refine, key=lambda k: k[0]):  # coarse levels first
+            if key in self.leaves:
+                self.refine_block(key)
+                n_refined += 1
+
+        # derefinement: all four siblings are quiet leaves and merging them
+        # does not break nesting (no sibling touches a finer leaf).
+        n_derefined = 0
+        candidates: Dict[BlockKey, List[BlockKey]] = {}
+        for key in self.sorted_keys():
+            level = key[0]
+            if level <= 1 or key in refine:
+                continue
+            if errors.get(key, np.inf) >= derefine_cutoff:
+                continue
+            parent = (level - 1, key[1] // 2, key[2] // 2)
+            candidates.setdefault(parent, []).append(key)
+
+        for parent, kids in sorted(candidates.items()):
+            if len(kids) != 4:
+                continue
+            if any(k not in self.leaves for k in kids):
+                continue
+            safe = True
+            for k in kids:
+                for kind, _ in self._neighbor_keys_all(k):
+                    if kind == "fine":
+                        safe = False
+                        break
+                if not safe:
+                    break
+            if safe:
+                self.derefine_siblings(parent)
+                n_derefined += 1
+
+        self.fill_guard_cells()
+        return RegridSummary(n_refined, n_derefined, self.n_leaves, self.finest_level)
+
+    # ------------------------------------------------------------------
+    # covering-grid output and diagnostics
+    # ------------------------------------------------------------------
+    def uniform_data(self, name: str, level: Optional[int] = None) -> np.ndarray:
+        """Sample a variable onto the uniform grid of ``level`` (default: the
+        finest level present), prolonging coarser leaves by injection.
+
+        This is what the checkpoint comparison utility (sfocu analogue)
+        consumes.
+        """
+        if level is None:
+            level = self.finest_level
+        nx = self.blocks_along_x(level) * self.nxb
+        ny = self.blocks_along_y(level) * self.nyb
+        out = np.zeros((nx, ny), dtype=np.float64)
+        for key in self.sorted_keys():
+            block = self.leaves[key]
+            blevel, bix, biy = key
+            if blevel > level:
+                raise ValueError(
+                    f"cannot sample level {level}: leaf {key} is finer; "
+                    "sample at grid.finest_level instead"
+                )
+            factor = 1 << (level - blevel)
+            values = block.interior_view(name)
+            if factor > 1:
+                values = prolong(values, factor)
+            i0 = bix * self.nxb * factor
+            j0 = biy * self.nyb * factor
+            out[i0:i0 + values.shape[0], j0:j0 + values.shape[1]] = values
+        return out
+
+    def uniform_coordinates(self, level: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Cell-centre coordinate vectors of the covering grid at ``level``."""
+        if level is None:
+            level = self.finest_level
+        nx = self.blocks_along_x(level) * self.nxb
+        ny = self.blocks_along_y(level) * self.nyb
+        dx = (self.xlim[1] - self.xlim[0]) / nx
+        dy = (self.ylim[1] - self.ylim[0]) / ny
+        x = self.xlim[0] + (np.arange(nx) + 0.5) * dx
+        y = self.ylim[0] + (np.arange(ny) + 0.5) * dy
+        return x, y
+
+    def level_map(self, level: Optional[int] = None) -> np.ndarray:
+        """Refinement level of the leaf covering each cell of the covering grid."""
+        if level is None:
+            level = self.finest_level
+        nx = self.blocks_along_x(level) * self.nxb
+        ny = self.blocks_along_y(level) * self.nyb
+        out = np.zeros((nx, ny), dtype=np.int64)
+        for key in self.sorted_keys():
+            blevel, bix, biy = key
+            factor = 1 << (level - blevel)
+            i0 = bix * self.nxb * factor
+            j0 = biy * self.nyb * factor
+            out[i0:i0 + self.nxb * factor, j0:j0 + self.nyb * factor] = blevel
+        return out
+
+    def total_integral(self, name: str) -> float:
+        """Domain integral of a variable (for conservation checks)."""
+        return float(sum(block.integral(name) for block in self.blocks()))

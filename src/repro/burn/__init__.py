@@ -1,0 +1,4 @@
+"""Simplified nuclear-burning network (Cellular detonation substrate)."""
+from .network import CarbonBurnNetwork
+
+__all__ = ["CarbonBurnNetwork"]

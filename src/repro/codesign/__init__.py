@@ -1,0 +1,33 @@
+"""Hardware co-design model (Section 7.2 of the paper)."""
+from .fpu_model import (
+    FPNEW_TABLE,
+    FPUSpec,
+    HybridFPUConfig,
+    area_ratio,
+    normalized_performance_density,
+    performance_density,
+    table4_rows,
+)
+from .roofline import FUGAKU_BANDWIDTH_GBS, RooflineModel
+from .speedup import (
+    SpeedupEstimate,
+    estimate_speedup,
+    speedup_compute_bound,
+    speedup_memory_bound,
+)
+
+__all__ = [
+    "FPUSpec",
+    "FPNEW_TABLE",
+    "performance_density",
+    "normalized_performance_density",
+    "area_ratio",
+    "HybridFPUConfig",
+    "table4_rows",
+    "RooflineModel",
+    "FUGAKU_BANDWIDTH_GBS",
+    "SpeedupEstimate",
+    "estimate_speedup",
+    "speedup_compute_bound",
+    "speedup_memory_bound",
+]

@@ -1,0 +1,173 @@
+"""Floating-point-unit performance-density model (Table 4, Section 7.2).
+
+The paper estimates how much floating-point throughput a unit of chip area
+provides at each precision, using published numbers for the open-source
+FPNew RISC-V FPU, and extrapolates to arbitrary precisions.  A hypothetical
+CPU is then assembled from one FP64 unit and one lower-precision unit whose
+areas are fixed by a typical FP64:FP32 compute-capability ratio of 1:2
+(Fugaku's A64FX).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.fpformat import FP8_E5M2, FP16, FP32, FP64, FPFormat
+
+__all__ = [
+    "FPUSpec",
+    "FPNEW_TABLE",
+    "performance_density",
+    "normalized_performance_density",
+    "area_ratio",
+    "HybridFPUConfig",
+    "table4_rows",
+]
+
+
+@dataclass(frozen=True)
+class FPUSpec:
+    """One row of Table 4: an FPU implementation at a given precision."""
+
+    fmt: FPFormat
+    gflops: float
+    area_kge: float  # kilo gate-equivalents
+
+    @property
+    def density(self) -> float:
+        """Raw performance density, GFLOP/s per kGE."""
+        return self.gflops / self.area_kge
+
+
+#: Table 4 of the paper (data from FPNew, Mach et al. 2021).
+FPNEW_TABLE: Dict[str, FPUSpec] = {
+    "fp64": FPUSpec(FP64, 3.17, 53.0),
+    "fp32": FPUSpec(FP32, 6.33, 40.0),
+    "fp16": FPUSpec(FP16, 12.67, 29.0),
+    "fp8": FPUSpec(FP8_E5M2, 25.33, 23.0),
+}
+
+
+def _log_fit() -> Tuple[float, float]:
+    """Least-squares fit of log2(density) versus log2(storage width)."""
+    widths = np.array([spec.fmt.total_bits for spec in FPNEW_TABLE.values()], dtype=float)
+    densities = np.array([spec.density for spec in FPNEW_TABLE.values()], dtype=float)
+    slope, intercept = np.polyfit(np.log2(widths), np.log2(densities), 1)
+    return float(slope), float(intercept)
+
+
+_SLOPE, _INTERCEPT = _log_fit()
+
+
+def performance_density(fmt: FPFormat) -> float:
+    """Performance density (GFLOP/s per kGE) of an FPU for ``fmt``.
+
+    The four FPNew data points are reproduced exactly; any other format is
+    extrapolated from the power-law fit of density versus storage width
+    (the "extrapolate these values to get a performance density estimate for
+    FPUs of any given precision" step of Section 7.2).
+    """
+    for spec in FPNEW_TABLE.values():
+        if spec.fmt.total_bits == fmt.total_bits:
+            return spec.density
+    width = max(fmt.total_bits, 4)
+    return float(2.0 ** (_INTERCEPT + _SLOPE * np.log2(width)))
+
+
+def normalized_performance_density(fmt: FPFormat) -> float:
+    """Performance density normalised to the FP64 unit (the last column of
+    Table 4: fp64 → 1.00, fp32 → 2.65, fp16 → 7.30, fp8 → 18.41)."""
+    return performance_density(fmt) / FPNEW_TABLE["fp64"].density
+
+
+def area_ratio(compute_ratio_low_to_dbl: float = 2.0, low_fmt: FPFormat = FP32) -> float:
+    """Area ratio ``A_dbl : A_low`` implied by a peak-compute ratio.
+
+    With FP64:FP32 peak compute of 1:2 (A64FX) and the FPNew densities this
+    gives ≈1.3–1.4, matching the paper's quoted 1.39.
+    """
+    p_dbl = performance_density(FP64)
+    p_low = performance_density(low_fmt)
+    # A_dbl * P_dbl : A_low * P_low = 1 : compute_ratio  =>  A_dbl/A_low
+    return (1.0 / compute_ratio_low_to_dbl) * (p_low / p_dbl)
+
+
+@dataclass
+class HybridFPUConfig:
+    """A two-unit FPU configuration: one FP64 unit plus one reduced unit.
+
+    The areas are fixed once (from the FP64:FP32 1:2 reference machine) and
+    the reduced unit's *precision* is then varied — the paper's assumption
+    that "the areas dedicated to each unit remain the same".
+
+    Areas are expressed in arbitrary units with ``area_low = 1``.
+    """
+
+    low_fmt: FPFormat
+    area_dbl: float
+    area_low: float
+    #: peak GFLOP/s per unit area of the FP64 unit
+    density_dbl: float
+    #: peak GFLOP/s per unit area of the reduced-precision unit
+    density_low: float
+
+    @classmethod
+    def from_reference(
+        cls,
+        low_fmt: FPFormat,
+        compute_ratio_low_to_dbl: float = 2.0,
+        reference_low_fmt: FPFormat = FP32,
+    ) -> "HybridFPUConfig":
+        """Build the hypothetical processor of Section 7.2.
+
+        The area split is fixed by the *reference* machine (FP64:FP32 = 1:2);
+        the reduced unit is then re-targeted to ``low_fmt`` (the truncation
+        target), keeping the areas unchanged.
+        """
+        ratio = area_ratio(compute_ratio_low_to_dbl, reference_low_fmt)
+        return cls(
+            low_fmt=low_fmt,
+            area_dbl=ratio,
+            area_low=1.0,
+            density_dbl=performance_density(FP64),
+            density_low=performance_density(low_fmt),
+        )
+
+    @property
+    def peak_dbl(self) -> float:
+        """Peak throughput of the FP64 unit (GFLOP/s in model units)."""
+        return self.area_dbl * self.density_dbl
+
+    @property
+    def peak_low(self) -> float:
+        """Peak throughput of the reduced-precision unit."""
+        return self.area_low * self.density_low
+
+    def time_for(self, n_dbl_ops: float, n_low_ops: float) -> float:
+        """Model execution time: no parallelism across units, each class of
+        operations runs on its unit at that unit's peak (Section 7.2)."""
+        time = 0.0
+        if n_dbl_ops > 0:
+            time += n_dbl_ops / self.peak_dbl
+        if n_low_ops > 0:
+            time += n_low_ops / self.peak_low
+        return time
+
+
+def table4_rows() -> list:
+    """Regenerate the rows of Table 4 (used by the benchmark harness)."""
+    rows = []
+    for name, spec in FPNEW_TABLE.items():
+        rows.append(
+            {
+                "type": name,
+                "exp_bits": spec.fmt.exp_bits,
+                "man_bits": spec.fmt.man_bits,
+                "gflops": spec.gflops,
+                "area_kge": spec.area_kge,
+                "perf_density_normalized": round(normalized_performance_density(spec.fmt), 2),
+            }
+        )
+    return rows

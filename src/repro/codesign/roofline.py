@@ -1,0 +1,55 @@
+"""Roofline model used to decide compute- versus memory-bound (Section 7.2).
+
+The paper builds a roofline for its hypothetical processor, assuming a
+memory bandwidth of 1024 GB/s (Fugaku's A64FX HBM2), and uses it to predict
+whether a workload's speedup should be taken from the compute-bound or the
+memory-bound estimate.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RooflineModel", "FUGAKU_BANDWIDTH_GBS"]
+
+#: HBM2 bandwidth of Fugaku's A64FX, GB/s (the value assumed in the paper).
+FUGAKU_BANDWIDTH_GBS: float = 1024.0
+
+
+@dataclass
+class RooflineModel:
+    """A classic two-parameter roofline.
+
+    Parameters
+    ----------
+    peak_gflops:
+        Peak floating-point throughput in GFLOP/s (model units are arbitrary
+        as long as they are consistent with ``operational intensity``).
+    bandwidth_gbs:
+        Peak memory bandwidth in GB/s.
+    """
+
+    peak_gflops: float
+    bandwidth_gbs: float = FUGAKU_BANDWIDTH_GBS
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity (FLOP/byte) at which the roofline bends."""
+        return self.peak_gflops / self.bandwidth_gbs
+
+    def operational_intensity(self, flops: float, bytes_moved: float) -> float:
+        """FLOPs per byte of memory traffic."""
+        if bytes_moved <= 0:
+            return float("inf")
+        return flops / bytes_moved
+
+    def attainable_gflops(self, operational_intensity: float) -> float:
+        """Attainable performance at a given operational intensity."""
+        return min(self.peak_gflops, self.bandwidth_gbs * operational_intensity)
+
+    def is_compute_bound(self, flops: float, bytes_moved: float) -> bool:
+        """True when the workload sits on the flat (compute) part of the roof."""
+        return self.operational_intensity(flops, bytes_moved) >= self.ridge_point
+
+    def classify(self, flops: float, bytes_moved: float) -> str:
+        """"compute" or "memory", for report output."""
+        return "compute" if self.is_compute_bound(flops, bytes_moved) else "memory"

@@ -1,0 +1,144 @@
+"""Estimated speedups from truncation (Figure 8, Section 7.2).
+
+Two estimates are produced from the operation and memory counters collected
+by the RAPTOR runtime:
+
+* **compute-bound**: execution time is the sum over precisions of
+  ``N_i / (A_i * P_i)`` on the two-unit hypothetical processor
+  (:class:`~repro.codesign.fpu_model.HybridFPUConfig`); the speedup is
+  relative to running every operation on the FP64 unit.
+* **memory-bound**: execution time is proportional to the bytes moved;
+  truncated values are assumed stored at the target width, so their traffic
+  shrinks by ``target_bits / 64``.
+
+A roofline model decides which of the two numbers is the relevant
+prediction for a given workload.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.fpformat import FP32, FPFormat
+from ..core.runtime import RaptorRuntime
+from .fpu_model import HybridFPUConfig
+from .roofline import FUGAKU_BANDWIDTH_GBS, RooflineModel
+
+__all__ = [
+    "SpeedupEstimate",
+    "estimate_speedup",
+    "speedup_compute_bound",
+    "speedup_memory_bound",
+    "A64FX_FP64_PEAK_GFLOPS",
+]
+
+#: FP64 peak of the reference machine (Fugaku's A64FX, ~3.4 TFLOP/s per node);
+#: used only to place the roofline ridge point in absolute units.
+A64FX_FP64_PEAK_GFLOPS: float = 3379.2
+
+
+def speedup_compute_bound(
+    n_truncated_ops: float,
+    n_full_ops: float,
+    target_fmt: FPFormat,
+    compute_ratio_low_to_dbl: float = 2.0,
+    reference_low_fmt: FPFormat = FP32,
+) -> float:
+    """Compute-bound speedup of the mixed-precision run over all-FP64.
+
+    ``n_truncated_ops`` execute on the reduced-precision unit (re-targeted
+    to ``target_fmt``), ``n_full_ops`` on the FP64 unit; the baseline runs
+    all ``n_truncated_ops + n_full_ops`` operations on the FP64 unit.
+    """
+    config = HybridFPUConfig.from_reference(
+        target_fmt, compute_ratio_low_to_dbl, reference_low_fmt
+    )
+    total = n_truncated_ops + n_full_ops
+    if total <= 0:
+        return 1.0
+    baseline = total / config.peak_dbl
+    mixed = config.time_for(n_full_ops, n_truncated_ops)
+    if mixed <= 0:
+        return 1.0
+    return baseline / mixed
+
+
+def speedup_memory_bound(
+    truncated_bytes: float,
+    full_bytes: float,
+    target_fmt: FPFormat,
+) -> float:
+    """Memory-bound speedup: runtime is a linear function of bytes moved.
+
+    Bytes attributed to truncated regions shrink by ``total_bits / 64`` when
+    the values are stored at the target width; full-precision bytes are
+    unchanged.
+    """
+    total = truncated_bytes + full_bytes
+    if total <= 0:
+        return 1.0
+    shrink = target_fmt.total_bits / 64.0
+    reduced = truncated_bytes * shrink + full_bytes
+    if reduced <= 0:
+        return 1.0
+    return total / reduced
+
+
+@dataclass
+class SpeedupEstimate:
+    """Both speedup estimates plus the roofline classification."""
+
+    target_fmt: FPFormat
+    truncated_ops: float
+    full_ops: float
+    truncated_bytes: float
+    full_bytes: float
+    compute_bound: float
+    memory_bound: float
+    bound: str
+
+    @property
+    def predicted(self) -> float:
+        """The estimate selected by the roofline classification."""
+        return self.compute_bound if self.bound == "compute" else self.memory_bound
+
+
+def estimate_speedup(
+    runtime: RaptorRuntime,
+    target_fmt: FPFormat,
+    compute_ratio_low_to_dbl: float = 2.0,
+    reference_low_fmt: FPFormat = FP32,
+    bandwidth_gbs: float = FUGAKU_BANDWIDTH_GBS,
+    roofline: Optional[RooflineModel] = None,
+) -> SpeedupEstimate:
+    """Build a :class:`SpeedupEstimate` from a profiled run.
+
+    This is the end-to-end path used for Figure 8: run the workload under a
+    truncation policy with op and memory counting enabled, then feed the
+    runtime's counters and the truncation target here.
+    """
+    n_trunc, n_full = float(runtime.ops.truncated), float(runtime.ops.full)
+    b_trunc, b_full = float(runtime.mem.truncated), float(runtime.mem.full)
+
+    if roofline is None:
+        # The HybridFPUConfig works in relative (per-area) units; to place
+        # the ridge point in absolute units, anchor the FP64 unit's peak to
+        # the reference machine (A64FX) as the paper does.
+        roofline = RooflineModel(A64FX_FP64_PEAK_GFLOPS, bandwidth_gbs)
+
+    total_flops = n_trunc + n_full
+    total_bytes = b_trunc + b_full
+    bound = roofline.classify(total_flops, total_bytes) if total_bytes > 0 else "compute"
+
+    return SpeedupEstimate(
+        target_fmt=target_fmt,
+        truncated_ops=n_trunc,
+        full_ops=n_full,
+        truncated_bytes=b_trunc,
+        full_bytes=b_full,
+        compute_bound=speedup_compute_bound(
+            n_trunc, n_full, target_fmt, compute_ratio_low_to_dbl, reference_low_fmt
+        ),
+        memory_bound=speedup_memory_bound(b_trunc, b_full, target_fmt),
+        bound=bound,
+    )

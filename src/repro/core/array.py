@@ -1,0 +1,166 @@
+"""Transparent numpy-hook instrumentation: :class:`TruncatedArray`.
+
+RAPTOR's headline usability feature is that *unmodified* code can be
+truncated: the compiler pass rewrites every floating-point instruction in the
+selected scope.  The closest Python analogue is numpy's ``__array_ufunc__``
+protocol: once an array is wrapped in :class:`TruncatedArray`, every ufunc
+evaluation it participates in (``a + b``, ``np.sqrt(a)``, ``np.maximum`` …)
+is intercepted, evaluated, rounded to the target format, and counted by the
+runtime — without any change to the numerical code operating on the array.
+
+This gives the "fully automatic" column of Figure 2b for numpy-style kernels,
+while :mod:`repro.core.opmode` provides the explicit-context route used by
+the solver kernels in this repository (which is faster and easier to scope
+per module/block).
+"""
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .fpformat import FPFormat
+from .quantize import RoundingMode, quantize
+from .runtime import RaptorRuntime, get_runtime
+
+__all__ = ["TruncatedArray", "truncate_array", "untruncate"]
+
+
+class TruncatedArray(np.ndarray):
+    """An ndarray subclass whose arithmetic is emulated at reduced precision.
+
+    Create instances with :func:`truncate_array` (or ``np.asarray(x).view``
+    plus :meth:`attach`).  All ufunc results involving at least one
+    TruncatedArray operand are rounded into the array's format and counted as
+    truncated operations; reductions (``a.sum()`` …) are handled through the
+    same hook.
+
+    Notes
+    -----
+    * The payload dtype is always float64; the *values* are representable in
+      the reduced format.
+    * Boolean/comparison ufuncs are passed through unrounded and uncounted
+      (they are not floating-point arithmetic).
+    * Slices and views keep the instrumentation (numpy propagates the
+      subclass), matching the call-graph-deep truncation of the LLVM pass.
+    """
+
+    _fmt: FPFormat
+    _runtime: Optional[RaptorRuntime]
+    _module: Optional[str]
+    _rounding: str
+
+    def __array_finalize__(self, obj):
+        if obj is None:
+            return
+        self._fmt = getattr(obj, "_fmt", None)
+        self._runtime = getattr(obj, "_runtime", None)
+        self._module = getattr(obj, "_module", None)
+        self._rounding = getattr(obj, "_rounding", RoundingMode.NEAREST_EVEN)
+
+    def attach(
+        self,
+        fmt: FPFormat,
+        runtime: Optional[RaptorRuntime] = None,
+        module: Optional[str] = None,
+        rounding: str = RoundingMode.NEAREST_EVEN,
+    ) -> "TruncatedArray":
+        self._fmt = fmt
+        self._runtime = runtime if runtime is not None else get_runtime()
+        self._module = module
+        self._rounding = rounding
+        return self
+
+    # ------------------------------------------------------------------
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        fmt = None
+        runtime = None
+        module = None
+        rounding = RoundingMode.NEAREST_EVEN
+        for x in inputs:
+            if isinstance(x, TruncatedArray) and getattr(x, "_fmt", None) is not None:
+                fmt = x._fmt
+                runtime = x._runtime
+                module = x._module
+                rounding = x._rounding
+                break
+
+        plain_inputs = [
+            np.asarray(x, dtype=np.float64).view(np.ndarray)
+            if isinstance(x, np.ndarray)
+            else x
+            for x in inputs
+        ]
+        out = kwargs.pop("out", None)
+        if out is not None:
+            kwargs["out"] = tuple(
+                np.asarray(o).view(np.ndarray) if isinstance(o, np.ndarray) else o for o in out
+            )
+
+        result = getattr(ufunc, method)(*plain_inputs, **kwargs)
+        if result is NotImplemented:  # pragma: no cover - defensive
+            return NotImplemented
+
+        if fmt is None:
+            return result
+
+        def _wrap(res):
+            if not isinstance(res, np.ndarray) and not np.isscalar(res):
+                return res
+            arr = np.asarray(res)
+            if arr.dtype.kind != "f":
+                # comparisons / integer results: pass through untouched
+                return res
+            quantised = quantize(arr, fmt, rounding)
+            if runtime is not None:
+                if method in ("reduce", "accumulate"):
+                    n = max(int(np.size(plain_inputs[0])) - int(np.size(arr)), 1)
+                else:
+                    n = int(np.size(arr))
+                runtime.record_truncated_ops(n, module=module)
+                runtime.record_truncated_bytes(
+                    8 * (int(np.size(arr)) + sum(int(np.size(p)) for p in plain_inputs))
+                )
+            wrapped = quantised.view(TruncatedArray)
+            wrapped._fmt = fmt
+            wrapped._runtime = runtime
+            wrapped._module = module
+            wrapped._rounding = rounding
+            return wrapped
+
+        if isinstance(result, tuple):
+            return tuple(_wrap(r) for r in result)
+        return _wrap(result)
+
+    # ------------------------------------------------------------------
+    @property
+    def fmt(self) -> Optional[FPFormat]:
+        return getattr(self, "_fmt", None)
+
+    def plain(self) -> np.ndarray:
+        """Return a detached plain ndarray copy (instrumentation removed)."""
+        return np.asarray(self, dtype=np.float64).view(np.ndarray).copy()
+
+
+def truncate_array(
+    x,
+    fmt: FPFormat,
+    runtime: Optional[RaptorRuntime] = None,
+    module: Optional[str] = None,
+    rounding: str = RoundingMode.NEAREST_EVEN,
+) -> TruncatedArray:
+    """Wrap ``x`` as a :class:`TruncatedArray` in format ``fmt``.
+
+    The initial payload is itself rounded into ``fmt`` so that the invariant
+    "payload representable in ``fmt``" holds from the start.
+    """
+    arr = quantize(np.asarray(x, dtype=np.float64), fmt, rounding)
+    view = arr.view(TruncatedArray)
+    return view.attach(fmt, runtime=runtime, module=module, rounding=rounding)
+
+
+def untruncate(x) -> np.ndarray:
+    """Remove instrumentation, returning a plain binary64 ndarray copy."""
+    if isinstance(x, TruncatedArray):
+        return x.plain()
+    return np.asarray(x, dtype=np.float64).copy()

@@ -1,0 +1,142 @@
+"""Truncation configuration: scope, mode, and target formats.
+
+This mirrors the configuration matrix in Figure 2b of the paper:
+
+=========  ================  ==================
+Scope      op-mode           mem-mode
+=========  ================  ==================
+Function   fully automatic   semi automatic
+File       fully automatic   n/a
+Program    fully automatic   n/a
+=========  ================  ==================
+
+In this reproduction "fully automatic" corresponds to the numpy-hook /
+context-manager instrumentation (no kernel changes needed) and
+"semi automatic" to the explicit conversion of region inputs/outputs into
+shadow values (see :mod:`repro.core.memmode`), exactly paralleling the extra
+user annotations mem-mode requires in the paper (Figure 3c).
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .fpformat import FP64, FPFormat, parse_truncation_spec
+from .quantize import RoundingMode
+
+__all__ = ["Mode", "Scope", "TruncationConfig"]
+
+
+class Mode(str, enum.Enum):
+    """RAPTOR operation modes."""
+
+    OP = "op"
+    MEM = "mem"
+
+
+class Scope(str, enum.Enum):
+    """Granularity at which the truncation is applied."""
+
+    FUNCTION = "function"
+    FILE = "file"
+    PROGRAM = "program"
+
+
+@dataclass
+class TruncationConfig:
+    """Complete description of one truncation request.
+
+    Parameters
+    ----------
+    targets:
+        Mapping from original operand width (16/32/64) to the target format.
+        Most experiments truncate 64-bit operations only.
+    mode:
+        Op-mode or mem-mode.
+    scope:
+        Function, file, or program scope.
+    rounding:
+        Rounding mode for the emulated operations.
+    count_ops:
+        Whether the runtime counts truncated / full-precision operations
+        (needed for the bars in Figure 7 and the co-design model).
+    track_memory:
+        Whether the runtime counts bytes moved in truncated / full regions
+        (needed for the memory-bound speedup model, Figure 8).
+    track_errors:
+        Whether op-mode records per-location rounding-error statistics.
+    deviation_threshold:
+        Mem-mode only: relative deviation (vs. the FP64 shadow) above which
+        an operation is flagged.
+    optimized:
+        Use the scratch-pad optimised runtime path (Figure 4b) instead of
+        the naive per-operation allocation path (Figure 5a).  Results are
+        identical; only the overhead differs (Table 3).
+    """
+
+    targets: Dict[int, FPFormat] = field(default_factory=lambda: {64: FP64})
+    mode: Mode = Mode.OP
+    scope: Scope = Scope.PROGRAM
+    rounding: str = RoundingMode.NEAREST_EVEN
+    count_ops: bool = True
+    track_memory: bool = True
+    track_errors: bool = False
+    deviation_threshold: float = 1e-6
+    optimized: bool = True
+    enabled: bool = True
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        spec: str,
+        mode: Mode | str = Mode.OP,
+        scope: Scope | str = Scope.PROGRAM,
+        **kwargs,
+    ) -> "TruncationConfig":
+        """Build a configuration from the paper's flag syntax.
+
+        >>> cfg = TruncationConfig.from_spec("64_to_5_14;32_to_3_8")
+        >>> cfg.targets[64].man_bits
+        14
+        """
+        return cls(
+            targets=parse_truncation_spec(spec),
+            mode=Mode(mode),
+            scope=Scope(scope),
+            **kwargs,
+        )
+
+    @classmethod
+    def mantissa(
+        cls,
+        man_bits: int,
+        exp_bits: int = 11,
+        from_width: int = 64,
+        **kwargs,
+    ) -> "TruncationConfig":
+        """Convenience constructor used by the mantissa sweeps in Section 6:
+        truncate ``from_width``-bit operations to ``exp_bits``/``man_bits``."""
+        return cls(targets={from_width: FPFormat(exp_bits, man_bits)}, **kwargs)
+
+    # ------------------------------------------------------------------
+    def target_for(self, width: int = 64) -> Optional[FPFormat]:
+        """Target format for operations on ``width``-bit operands (or None)."""
+        return self.targets.get(width)
+
+    @property
+    def fmt(self) -> FPFormat:
+        """The 64-bit target format (the common case in the experiments)."""
+        return self.targets.get(64, FP64)
+
+    def is_noop(self) -> bool:
+        """True when the configuration would not change any operation."""
+        return (not self.enabled) or all(f.is_fp64() for f in self.targets.values())
+
+    def describe(self) -> str:
+        parts = [f"{w}->e{f.exp_bits}m{f.man_bits}" for w, f in sorted(self.targets.items())]
+        return (
+            f"TruncationConfig(mode={self.mode.value}, scope={self.scope.value}, "
+            f"targets=[{', '.join(parts)}], rounding={self.rounding})"
+        )

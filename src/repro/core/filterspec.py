@@ -1,0 +1,119 @@
+"""Configuration-file-driven truncation filters.
+
+Section 7.3 of the paper lists "support function filtering using a
+configuration file (similar to profilers)" as a planned usability
+improvement over the manual region annotations.  This module implements that
+extension for the reproduction: a small text format that names the modules
+(or module prefixes) to include in / exclude from truncation, together with
+the truncation spec, and a parser that turns it into a ready-to-use
+:class:`~repro.core.selective.TruncationPolicy`.
+
+Format (one directive per line, ``#`` comments allowed)::
+
+    # truncate 64-bit ops to e5m14 everywhere except the EOS
+    truncate 64_to_5_14
+    mode op
+    threshold 1e-6
+    include hydro
+    include incomp.advection
+    exclude eos
+
+``include`` lines restrict truncation to the listed module labels (prefix
+match on dotted names); with no ``include`` line every module is eligible.
+``exclude`` lines always win over includes.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from .config import Mode, TruncationConfig
+from .runtime import RaptorRuntime
+from .selective import PredicatePolicy, TruncationPolicy
+
+__all__ = ["FilterSpec", "parse_filter_text", "load_filter_file", "policy_from_filter"]
+
+
+@dataclass
+class FilterSpec:
+    """Parsed contents of a filter configuration."""
+
+    config: TruncationConfig
+    includes: List[str] = field(default_factory=list)
+    excludes: List[str] = field(default_factory=list)
+
+    def matches(self, module: Optional[str]) -> bool:
+        """Whether operations of ``module`` should be truncated."""
+        name = module or ""
+        for pattern in self.excludes:
+            if _prefix_match(name, pattern):
+                return False
+        if not self.includes:
+            return True
+        return any(_prefix_match(name, pattern) for pattern in self.includes)
+
+
+def _prefix_match(name: str, pattern: str) -> bool:
+    """Dotted-prefix match: pattern "hydro" matches "hydro" and "hydro.recon"."""
+    return name == pattern or name.startswith(pattern + ".") or name.startswith(pattern + ":")
+
+
+def parse_filter_text(text: str) -> FilterSpec:
+    """Parse the filter-file format described in the module docstring."""
+    truncate_spec: Optional[str] = None
+    mode = Mode.OP
+    threshold = 1e-6
+    includes: List[str] = []
+    excludes: List[str] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        directive, args = parts[0].lower(), parts[1:]
+        if directive == "truncate":
+            if len(args) != 1:
+                raise ValueError(f"line {lineno}: 'truncate' expects one spec argument")
+            truncate_spec = args[0]
+        elif directive == "mode":
+            if len(args) != 1 or args[0] not in ("op", "mem"):
+                raise ValueError(f"line {lineno}: 'mode' expects 'op' or 'mem'")
+            mode = Mode(args[0])
+        elif directive == "threshold":
+            if len(args) != 1:
+                raise ValueError(f"line {lineno}: 'threshold' expects one value")
+            threshold = float(args[0])
+        elif directive == "include":
+            if len(args) != 1:
+                raise ValueError(f"line {lineno}: 'include' expects one module name")
+            includes.append(args[0])
+        elif directive == "exclude":
+            if len(args) != 1:
+                raise ValueError(f"line {lineno}: 'exclude' expects one module name")
+            excludes.append(args[0])
+        else:
+            raise ValueError(f"line {lineno}: unknown directive {directive!r}")
+
+    if truncate_spec is None:
+        raise ValueError("filter file contains no 'truncate' directive")
+    config = TruncationConfig.from_spec(truncate_spec, mode=mode, deviation_threshold=threshold)
+    return FilterSpec(config=config, includes=includes, excludes=excludes)
+
+
+def load_filter_file(path) -> FilterSpec:
+    """Read and parse a filter configuration file."""
+    return parse_filter_text(Path(path).read_text(encoding="utf-8"))
+
+
+def policy_from_filter(
+    spec: FilterSpec,
+    runtime: Optional[RaptorRuntime] = None,
+) -> TruncationPolicy:
+    """Build a truncation policy that honours the filter's include/exclude rules."""
+
+    def predicate(module, level, max_level, state) -> bool:
+        return spec.matches(module)
+
+    return PredicatePolicy(spec.config, predicate, runtime=runtime)

@@ -1,0 +1,178 @@
+"""Floating-point format descriptions.
+
+RAPTOR lets the user request truncation of 16/32/64-bit IEEE operations to an
+arbitrary format described by an exponent width and a mantissa (fraction)
+width, e.g. ``--raptor-truncate-all=64_to_5_14;32_to_3_8``.  This module
+provides the :class:`FPFormat` value type used throughout the library, the
+standard IEEE formats, and a parser for the paper's flag syntax.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+__all__ = [
+    "FPFormat",
+    "FP64",
+    "FP32",
+    "FP16",
+    "BF16",
+    "FP8_E5M2",
+    "FP8_E4M3",
+    "STANDARD_FORMATS",
+    "parse_truncation_spec",
+]
+
+
+@dataclass(frozen=True)
+class FPFormat:
+    """A binary floating-point format with ``exp_bits`` exponent bits and
+    ``man_bits`` explicitly stored fraction bits (the leading significand bit
+    is implicit, as in IEEE-754).
+
+    The format follows IEEE-754 conventions: biased exponent, gradual
+    underflow (subnormals), and overflow to infinity.
+    """
+
+    exp_bits: int
+    man_bits: int
+    #: cosmetic label; excluded from equality so FPFormat(5, 10) == FP16
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.exp_bits < 1:
+            raise ValueError(f"exp_bits must be >= 1, got {self.exp_bits}")
+        if self.exp_bits > 11:
+            raise ValueError(
+                f"exp_bits must be <= 11 (FP64 storage is used), got {self.exp_bits}"
+            )
+        if self.man_bits < 0:
+            raise ValueError(f"man_bits must be >= 0, got {self.man_bits}")
+        if self.man_bits > 52:
+            raise ValueError(
+                f"man_bits must be <= 52 (FP64 storage is used), got {self.man_bits}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def bias(self) -> int:
+        """Exponent bias."""
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest unbiased exponent of a normal number."""
+        return self.bias
+
+    @property
+    def emin(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def precision(self) -> int:
+        """Significand precision in bits (including the implicit bit)."""
+        return self.man_bits + 1
+
+    @property
+    def eps(self) -> float:
+        """Machine epsilon: distance from 1.0 to the next larger number."""
+        return 2.0 ** (-self.man_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        return float((2.0 - 2.0 ** (-self.man_bits)) * 2.0 ** self.emax)
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return float(2.0 ** self.emin)
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude."""
+        return float(2.0 ** (self.emin - self.man_bits))
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width (sign + exponent + fraction)."""
+        return 1 + self.exp_bits + self.man_bits
+
+    def is_fp64(self) -> bool:
+        """True when the format is (a superset of) IEEE binary64: quantising
+        to it is the identity on finite doubles."""
+        return self.exp_bits >= 11 and self.man_bits >= 52
+
+    def spec(self) -> str:
+        """The ``<exp>_<man>`` suffix used in RAPTOR's command-line flags."""
+        return f"{self.exp_bits}_{self.man_bits}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"e{self.exp_bits}m{self.man_bits}"
+        return f"FPFormat({label})"
+
+
+#: IEEE binary64 (double precision).
+FP64 = FPFormat(11, 52, "fp64")
+#: IEEE binary32 (single precision).
+FP32 = FPFormat(8, 23, "fp32")
+#: IEEE binary16 (half precision).
+FP16 = FPFormat(5, 10, "fp16")
+#: bfloat16.
+BF16 = FPFormat(8, 7, "bf16")
+#: FP8 E5M2 (the FPNew / OCP variant used in Table 4 of the paper).
+FP8_E5M2 = FPFormat(5, 2, "fp8_e5m2")
+#: FP8 E4M3.
+FP8_E4M3 = FPFormat(4, 3, "fp8_e4m3")
+
+STANDARD_FORMATS: Dict[str, FPFormat] = {
+    f.name: f for f in (FP64, FP32, FP16, BF16, FP8_E5M2, FP8_E4M3)
+}
+
+
+def parse_truncation_spec(spec: str) -> Dict[int, FPFormat]:
+    """Parse a RAPTOR truncation flag value.
+
+    The paper's flag syntax maps an original operand width to a target
+    format, with multiple mappings separated by ``;``::
+
+        >>> parse_truncation_spec("64_to_5_14;32_to_3_8")
+        {64: FPFormat(e5m14), 32: FPFormat(e3m8)}
+
+    Parameters
+    ----------
+    spec:
+        String of the form ``"<from>_to_<exp>_<man>[;...]"``.
+
+    Returns
+    -------
+    dict
+        Mapping from original width (16, 32 or 64) to the target
+        :class:`FPFormat`.
+    """
+    result: Dict[int, FPFormat] = {}
+    for part in _split_nonempty(spec, ";"):
+        tokens = part.split("_to_")
+        if len(tokens) != 2:
+            raise ValueError(f"malformed truncation spec element: {part!r}")
+        try:
+            from_width = int(tokens[0])
+        except ValueError as exc:
+            raise ValueError(f"malformed source width in {part!r}") from exc
+        if from_width not in (16, 32, 64):
+            raise ValueError(
+                f"original operand width must be 16, 32 or 64, got {from_width}"
+            )
+        em = tokens[1].split("_")
+        if len(em) != 2:
+            raise ValueError(f"malformed target format in {part!r}")
+        exp_bits, man_bits = int(em[0]), int(em[1])
+        result[from_width] = FPFormat(exp_bits, man_bits)
+    if not result:
+        raise ValueError("empty truncation spec")
+    return result
+
+
+def _split_nonempty(text: str, sep: str) -> Iterable[str]:
+    return [p for p in (s.strip() for s in text.split(sep)) if p]

@@ -1,0 +1,302 @@
+"""Function / file / program scope instrumentation.
+
+RAPTOR offers three scopes (Figure 2b): *function* scope, where the user
+requests a truncated clone of a specific function
+(``_raptor_trunc_func_op``/``_raptor_trunc_func_mem``); *file* scope, where
+every operation in a compilation unit is truncated; and *program* scope,
+where the whole application is truncated via a compiler flag.
+
+This module provides the Python equivalents:
+
+* :func:`trunc_func_op` / :func:`trunc_func_mem` — return a truncated clone
+  of a callable (the original stays untouched), exactly like the
+  ``_raptor_trunc_func_*`` API in Figure 3.
+* :func:`truncate_region` — a context manager that activates a truncation
+  configuration for the dynamic extent of a ``with`` block (function scope
+  for code that is not easily wrapped).
+* :func:`program_scope` / :func:`file_scope` — process-wide and per-module
+  activation, the analogues of ``--raptor-truncate-all`` and per-file flags.
+* :func:`active_context` — what instrumented kernels call to find the
+  numerics context they should execute with.
+
+Scope activation is kept in a :class:`contextvars.ContextVar`, so nested
+scopes and threaded kernels behave predictably (inner-most scope wins).
+"""
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import functools
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from .array import TruncatedArray, truncate_array, untruncate
+from .config import Mode, Scope, TruncationConfig
+from .fpformat import FPFormat
+from .memmode import ShadowArray, ShadowContext
+from .opmode import FPContext, FullPrecisionContext, TruncatedContext, make_context
+from .runtime import RaptorRuntime, get_runtime
+
+__all__ = [
+    "ScopeState",
+    "truncate_region",
+    "program_scope",
+    "file_scope",
+    "active_context",
+    "active_config",
+    "trunc_func_op",
+    "trunc_func_mem",
+    "trunc_func",
+]
+
+
+@dataclass
+class ScopeState:
+    """The currently active instrumentation scope."""
+
+    config: Optional[TruncationConfig] = None
+    #: module/file names the scope is restricted to (None = everywhere)
+    modules: Optional[frozenset] = None
+    runtime: Optional[RaptorRuntime] = None
+    #: cache of contexts per module label
+    _contexts: Dict[Optional[str], FPContext] = field(default_factory=dict)
+
+    def applies_to(self, module: Optional[str]) -> bool:
+        if self.config is None or not self.config.enabled:
+            return False
+        if self.modules is None:
+            return True
+        return module in self.modules
+
+    def context(self, module: Optional[str] = None) -> FPContext:
+        ctx = self._contexts.get(module)
+        if ctx is None:
+            runtime = self.runtime if self.runtime is not None else get_runtime()
+            if self.applies_to(module):
+                if self.config is not None and self.config.mode == Mode.MEM:
+                    ctx = ShadowContext.from_config(self.config, runtime=runtime, module=module)
+                else:
+                    ctx = make_context(self.config, runtime=runtime, module=module)
+            else:
+                ctx = FullPrecisionContext(runtime=runtime, module=module)
+            self._contexts[module] = ctx
+        return ctx
+
+
+_scope_var: contextvars.ContextVar[Optional[ScopeState]] = contextvars.ContextVar(
+    "raptor_scope", default=None
+)
+
+
+def active_config() -> Optional[TruncationConfig]:
+    """The truncation configuration of the innermost active scope (or None)."""
+    state = _scope_var.get()
+    return state.config if state is not None else None
+
+
+def active_context(module: Optional[str] = None) -> FPContext:
+    """Numerics context an instrumented kernel should use right now.
+
+    Outside any scope this is a plain (counting) full-precision context;
+    inside a scope it is the scope's truncating context, unless the scope is
+    restricted to other modules.
+    """
+    state = _scope_var.get()
+    if state is None:
+        return FullPrecisionContext(module=module)
+    return state.context(module)
+
+
+@contextlib.contextmanager
+def truncate_region(
+    config: TruncationConfig,
+    modules: Optional[Iterable[str]] = None,
+    runtime: Optional[RaptorRuntime] = None,
+):
+    """Activate ``config`` for the dynamic extent of the ``with`` block.
+
+    ``modules`` optionally restricts the truncation to kernels that identify
+    themselves with one of the given module labels, which is how file scope
+    is expressed (see :func:`file_scope`).
+    """
+    state = ScopeState(
+        config=config,
+        modules=frozenset(modules) if modules is not None else None,
+        runtime=runtime,
+    )
+    token = _scope_var.set(state)
+    try:
+        yield state
+    finally:
+        _scope_var.reset(token)
+
+
+def program_scope(
+    config: TruncationConfig,
+    runtime: Optional[RaptorRuntime] = None,
+):
+    """Program-scope truncation (``--raptor-truncate-all``)."""
+    cfg = config
+    cfg.scope = Scope.PROGRAM
+    return truncate_region(cfg, modules=None, runtime=runtime)
+
+
+def file_scope(
+    config: TruncationConfig,
+    modules: Iterable[str],
+    runtime: Optional[RaptorRuntime] = None,
+):
+    """File-scope truncation: only kernels tagged with one of ``modules``.
+
+    In the paper the unit is the compilation unit (one ``.cpp``/``.f90``
+    file); here it is the module label kernels pass to
+    :func:`active_context` — by convention the sub-package name
+    (``"hydro"``, ``"eos"``, ``"incomp.advection"`` …).
+    """
+    cfg = config
+    cfg.scope = Scope.FILE
+    return truncate_region(cfg, modules=modules, runtime=runtime)
+
+
+# ---------------------------------------------------------------------------
+# function-scope clones (_raptor_trunc_func_{op,mem})
+# ---------------------------------------------------------------------------
+def _wrap_arrays(args, kwargs, fmt: FPFormat, runtime, module):
+    """Wrap ndarray arguments as TruncatedArray (op-mode function scope)."""
+    def wrap(x):
+        if isinstance(x, np.ndarray) and x.dtype.kind == "f":
+            return truncate_array(x, fmt, runtime=runtime, module=module)
+        return x
+
+    return [wrap(a) for a in args], {k: wrap(v) for k, v in kwargs.items()}
+
+
+def trunc_func_op(
+    func: Callable,
+    from_width: int = 64,
+    to_exponent: int = 11,
+    to_mantissa: int = 52,
+    runtime: Optional[RaptorRuntime] = None,
+    module: Optional[str] = None,
+    **config_kwargs,
+) -> Callable:
+    """Return an op-mode truncated clone of ``func``.
+
+    Mirrors ``_raptor_trunc_func_op(foo, 32, 5, 8)`` from Figure 3b: the
+    returned callable has the same signature as ``func``; inside it, a
+    truncation scope is active and floating-point ndarray arguments are
+    wrapped with the transparent numpy hook so that even plain-numpy code is
+    truncated.  The return value is converted back to plain binary64 arrays
+    (op-mode keeps boundary values in the original IEEE type).
+    """
+    fmt = FPFormat(to_exponent, to_mantissa)
+    config = TruncationConfig(
+        targets={from_width: fmt}, mode=Mode.OP, scope=Scope.FUNCTION, **config_kwargs
+    )
+    rt = runtime if runtime is not None else get_runtime()
+    label = module or getattr(func, "__name__", "func")
+
+    @functools.wraps(func)
+    def truncated(*args, **kwargs):
+        wrapped_args, wrapped_kwargs = _wrap_arrays(args, kwargs, fmt, rt, label)
+        with truncate_region(config, runtime=rt):
+            result = func(*wrapped_args, **wrapped_kwargs)
+        return _unwrap_result(result)
+
+    truncated.__raptor_config__ = config
+    return truncated
+
+
+def trunc_func_mem(
+    func: Callable,
+    from_width: int = 64,
+    to_exponent: int = 11,
+    to_mantissa: int = 52,
+    threshold: float = 1e-6,
+    runtime: Optional[RaptorRuntime] = None,
+    module: Optional[str] = None,
+    excluded_modules: Iterable[str] = (),
+    **config_kwargs,
+) -> Callable:
+    """Return a mem-mode truncated clone of ``func``.
+
+    Mirrors ``_raptor_trunc_func_mem`` (Figure 3c).  Floating-point ndarray
+    arguments are lifted to :class:`~repro.core.memmode.ShadowArray`
+    (the ``_raptor_pre_c`` conversions); the function must perform its
+    arithmetic either through operators on those shadows or through the
+    context returned by :func:`active_context`; the result is lowered back
+    to plain arrays (``_raptor_post_c``).  The clone exposes the shadow
+    context on its ``.context`` attribute so callers can query the deviation
+    report afterwards.
+    """
+    fmt = FPFormat(to_exponent, to_mantissa)
+    config = TruncationConfig(
+        targets={from_width: fmt},
+        mode=Mode.MEM,
+        scope=Scope.FUNCTION,
+        deviation_threshold=threshold,
+        **config_kwargs,
+    )
+    rt = runtime if runtime is not None else get_runtime()
+    label = module or getattr(func, "__name__", "func")
+    ctx = ShadowContext.from_config(config, runtime=rt, module=label)
+    ctx.exclude(*excluded_modules)
+
+    @functools.wraps(func)
+    def truncated(*args, **kwargs):
+        def lift(x):
+            if isinstance(x, np.ndarray) and x.dtype.kind == "f":
+                return ctx.lift(x)
+            return x
+
+        lifted_args = [lift(a) for a in args]
+        lifted_kwargs = {k: lift(v) for k, v in kwargs.items()}
+        state = ScopeState(config=config, runtime=rt)
+        state._contexts[None] = ctx
+        state._contexts[label] = ctx
+        token = _scope_var.set(state)
+        try:
+            result = func(*lifted_args, **lifted_kwargs)
+        finally:
+            _scope_var.reset(token)
+        return _unwrap_result(result)
+
+    truncated.__raptor_config__ = config
+    truncated.context = ctx
+    return truncated
+
+
+def trunc_func(
+    from_width: int = 64,
+    to_exponent: int = 11,
+    to_mantissa: int = 52,
+    mode: Mode | str = Mode.OP,
+    **kwargs,
+) -> Callable[[Callable], Callable]:
+    """Decorator form: ``@trunc_func(64, 8, 23)`` above a kernel definition."""
+    mode = Mode(mode)
+
+    def decorate(func: Callable) -> Callable:
+        if mode == Mode.MEM:
+            return trunc_func_mem(func, from_width, to_exponent, to_mantissa, **kwargs)
+        return trunc_func_op(func, from_width, to_exponent, to_mantissa, **kwargs)
+
+    return decorate
+
+
+def _unwrap_result(result):
+    """Convert TruncatedArray / ShadowArray results back to plain arrays."""
+    if isinstance(result, ShadowArray):
+        return result.value.copy()
+    if isinstance(result, TruncatedArray):
+        return untruncate(result)
+    if isinstance(result, tuple):
+        return tuple(_unwrap_result(r) for r in result)
+    if isinstance(result, list):
+        return [_unwrap_result(r) for r in result]
+    if isinstance(result, dict):
+        return {k: _unwrap_result(v) for k, v in result.items()}
+    return result

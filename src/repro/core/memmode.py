@@ -1,0 +1,462 @@
+"""Mem-mode: persistent emulated values with FP64 shadow tracking.
+
+In RAPTOR's mem-mode the emulated (MPFR) representation of every value is
+*memorised* between operations instead of being converted back after each
+one.  Each value additionally carries a double-precision shadow that is
+updated with full-precision operations, so the runtime can monitor the
+deviation of the truncated trajectory from the FP64 trajectory for every
+single operation, flag operations whose deviation exceeds a threshold, and
+correlate the flags back to source locations (the "heat-map" used for the
+numerical-debugging workflow of Section 6.3 / Table 2).
+
+Reproduction mapping:
+
+* ``_raptor_fp`` struct (MPFR variable + shadow + bookkeeping)  →
+  :class:`ShadowArray` (truncated payload + FP64 shadow, vectorised).
+* ``_raptor_pre_c`` / ``_raptor_post_c`` converters             →
+  :func:`to_shadow` / :func:`from_shadow`.
+* runtime flagging & location statistics                        →
+  :class:`ShadowContext` + :class:`DeviationReport`.
+* dynamic exclusion of modules from truncation (Table 2 rows)   →
+  ``ShadowContext.exclude`` / ``excluded_modules``.
+
+Because numpy cannot exceed binary64, the shadow is always binary64 and the
+emulated target precision is limited to 52 mantissa bits; "precision
+increase" is therefore supported relative to truncated formats (the only way
+the paper's evaluation uses it).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .config import TruncationConfig
+from .fpformat import FPFormat
+from .opmode import FPContext
+from .quantize import RoundingMode, quantize
+from .registry import SourceLocation, capture_location
+from .runtime import RaptorRuntime, get_runtime
+
+__all__ = [
+    "ShadowArray",
+    "ShadowContext",
+    "DeviationReport",
+    "to_shadow",
+    "from_shadow",
+]
+
+ArrayLike = Union[float, int, np.ndarray, "ShadowArray"]
+
+
+class ShadowArray:
+    """A value (array) carrying both a truncated payload and an FP64 shadow.
+
+    ``value`` is the truncated trajectory (stored in binary64 but always
+    exactly representable in the context's target format); ``shadow`` is the
+    trajectory the application would have followed had it stayed in FP64.
+
+    Arithmetic operators are routed through the owning
+    :class:`ShadowContext`, so ordinary numpy-style expressions inside a
+    mem-mode region keep both trajectories up to date and feed the deviation
+    statistics.  Comparisons and boolean tests use the truncated payload —
+    that is what the truncated application actually branches on.
+    """
+
+    __slots__ = ("value", "shadow", "ctx")
+
+    def __init__(self, value: np.ndarray, shadow: np.ndarray, ctx: "ShadowContext") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.shadow = np.asarray(shadow, dtype=np.float64)
+        if self.value.shape != self.shadow.shape:
+            raise ValueError(
+                f"value/shadow shape mismatch: {self.value.shape} vs {self.shadow.shape}"
+            )
+        self.ctx = ctx
+
+    # -- array protocol -------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.value.ndim
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __getitem__(self, key) -> "ShadowArray":
+        return ShadowArray(self.value[key], self.shadow[key], self.ctx)
+
+    def __setitem__(self, key, other: ArrayLike) -> None:
+        if isinstance(other, ShadowArray):
+            self.value[key] = other.value
+            self.shadow[key] = other.shadow
+        else:
+            arr = np.asarray(other, dtype=np.float64)
+            self.value[key] = self.ctx._quantize(arr)
+            self.shadow[key] = arr
+
+    def copy(self) -> "ShadowArray":
+        return ShadowArray(self.value.copy(), self.shadow.copy(), self.ctx)
+
+    def deviation(self) -> np.ndarray:
+        """Element-wise absolute deviation of the truncated trajectory."""
+        return np.abs(self.value - self.shadow)
+
+    def relative_deviation(self) -> np.ndarray:
+        dev = self.deviation()
+        scale = np.maximum(np.abs(self.shadow), np.finfo(np.float64).tiny)
+        return dev / scale
+
+    # -- arithmetic routed through the context ---------------------------------
+    def __add__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.add(self, other)
+
+    def __radd__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.add(other, self)
+
+    def __sub__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.sub(other, self)
+
+    def __mul__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.mul(self, other)
+
+    def __rmul__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.mul(other, self)
+
+    def __truediv__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.div(other, self)
+
+    def __pow__(self, other: ArrayLike) -> "ShadowArray":
+        return self.ctx.power(self, other)
+
+    def __neg__(self) -> "ShadowArray":
+        return self.ctx.neg(self)
+
+    def __abs__(self) -> "ShadowArray":
+        return self.ctx.abs(self)
+
+    # -- comparisons on the truncated payload ----------------------------------
+    def _other_value(self, other: ArrayLike) -> np.ndarray:
+        return other.value if isinstance(other, ShadowArray) else np.asarray(other, dtype=np.float64)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.value < self._other_value(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.value <= self._other_value(other)
+
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.value > self._other_value(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.value >= self._other_value(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShadowArray(shape={self.value.shape}, fmt=e{self.ctx.fmt.exp_bits}m{self.ctx.fmt.man_bits})"
+
+
+@dataclass
+class DeviationReport:
+    """Summary of flagged operations, grouped by source location."""
+
+    threshold: float
+    entries: List[Tuple[SourceLocation, int, int, float]]
+    # each entry: (location, flagged_count, total_count, max_rel_deviation)
+
+    def top(self, n: int = 10) -> List[Tuple[SourceLocation, int, int, float]]:
+        return self.entries[:n]
+
+    def flagged_labels(self) -> List[str]:
+        """Distinct labels of flagged locations, most-flagged first."""
+        seen: List[str] = []
+        for loc, flagged, _, _ in self.entries:
+            if flagged > 0 and loc.label and loc.label not in seen:
+                seen.append(loc.label)
+        return seen
+
+    def to_text(self) -> str:
+        lines = [f"mem-mode deviation report (threshold={self.threshold:g})"]
+        lines.append(f"{'location':<48} {'flagged':>10} {'ops':>14} {'max rel dev':>12}")
+        for loc, flagged, count, maxdev in self.entries:
+            lines.append(f"{loc.short():<48} {flagged:>10} {count:>14} {maxdev:>12.3e}")
+        return "\n".join(lines)
+
+
+class ShadowContext(FPContext):
+    """Mem-mode numerics context.
+
+    Every operation updates the truncated payload (rounded to ``fmt`` unless
+    the operation's module is excluded) and the FP64 shadow, computes the
+    relative deviation between the two, and flags locations whose deviation
+    exceeds ``threshold``.
+
+    Parameters
+    ----------
+    fmt:
+        Target format of the truncated trajectory.
+    threshold:
+        Relative deviation above which an operation instance is flagged.
+    excluded_modules:
+        Iterable of module names whose operations are kept at full precision
+        (the "excluded modules" rows of Table 2).  Exclusion is dynamic — it
+        is honoured at call time, which is why the paper notes both Table 3
+        mem-mode rows have comparable overhead.
+    """
+
+    truncating = True
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        runtime: Optional[RaptorRuntime] = None,
+        module: Optional[str] = None,
+        threshold: float = 1e-6,
+        excluded_modules: Iterable[str] = (),
+        rounding: str = RoundingMode.NEAREST_EVEN,
+        count_ops: bool = True,
+        track_memory: bool = True,
+    ) -> None:
+        self.fmt = fmt
+        self.name = f"mem:e{fmt.exp_bits}m{fmt.man_bits}"
+        self.runtime = runtime if runtime is not None else get_runtime()
+        self.module = module
+        self.threshold = float(threshold)
+        self.excluded_modules = set(excluded_modules)
+        self.rounding = rounding
+        self.count_ops = count_ops
+        self.track_memory = track_memory
+        # local flag bookkeeping: location-id -> [flagged, total, max_rel_dev]
+        self._flags: Dict[SourceLocation, List[float]] = {}
+
+    @classmethod
+    def from_config(
+        cls,
+        config: TruncationConfig,
+        runtime: Optional[RaptorRuntime] = None,
+        module: Optional[str] = None,
+        excluded_modules: Iterable[str] = (),
+    ) -> "ShadowContext":
+        return cls(
+            config.fmt,
+            runtime=runtime,
+            module=module,
+            threshold=config.deviation_threshold,
+            excluded_modules=excluded_modules,
+            rounding=config.rounding,
+            count_ops=config.count_ops,
+            track_memory=config.track_memory,
+        )
+
+    # ------------------------------------------------------------------
+    # exclusion management (the Table 2 workflow)
+    # ------------------------------------------------------------------
+    def exclude(self, *modules: str) -> None:
+        """Add modules to the full-precision exclusion list."""
+        self.excluded_modules.update(modules)
+
+    def include(self, *modules: str) -> None:
+        """Remove modules from the exclusion list (re-enable truncation)."""
+        self.excluded_modules.difference_update(modules)
+
+    def scoped(self, module: str) -> "ShadowContext":
+        """A view of this context tagged with a different module name.
+
+        The view shares the runtime, flag bookkeeping and exclusion list, so
+        a single mem-mode region can contain several solver components each
+        reporting under its own module label.
+        """
+        view = ShadowContext.__new__(ShadowContext)
+        view.fmt = self.fmt
+        view.name = self.name
+        view.runtime = self.runtime
+        view.module = module
+        view.threshold = self.threshold
+        view.excluded_modules = self.excluded_modules
+        view.rounding = self.rounding
+        view.count_ops = self.count_ops
+        view.track_memory = self.track_memory
+        view._flags = self._flags
+        return view
+
+    # ------------------------------------------------------------------
+    def _quantize(self, arr: np.ndarray) -> np.ndarray:
+        return quantize(arr, self.fmt, self.rounding)
+
+    def _truncation_active(self) -> bool:
+        return self.module not in self.excluded_modules
+
+    def const(self, x: ArrayLike) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        return self._quantize(arr) if self._truncation_active() else arr
+
+    def lift(self, x: ArrayLike) -> ShadowArray:
+        """Convert a plain array (or ShadowArray) into a ShadowArray of this
+        context (the ``_raptor_pre_c`` conversion)."""
+        if isinstance(x, ShadowArray):
+            return ShadowArray(x.value, x.shadow, self)
+        arr = np.asarray(x, dtype=np.float64)
+        value = self._quantize(arr) if self._truncation_active() else arr.copy()
+        return ShadowArray(value, arr.copy(), self)
+
+    def lower(self, x: ArrayLike) -> np.ndarray:
+        """Extract the truncated payload (the ``_raptor_post_c`` conversion)."""
+        if isinstance(x, ShadowArray):
+            return x.value.copy()
+        return np.asarray(x, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _split(self, x: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+        if isinstance(x, ShadowArray):
+            return x.value, x.shadow
+        arr = np.asarray(x, dtype=np.float64)
+        return arr, arr
+
+    def _location(self, label: str) -> SourceLocation:
+        # capture_location -> _location -> _apply/_reduce -> op method -> kernel
+        return capture_location(depth=4, label=label)
+
+    def _record(
+        self,
+        result_value: np.ndarray,
+        result_shadow: np.ndarray,
+        inputs_sizes: int,
+        label: str,
+        truncated: bool,
+    ) -> None:
+        n = int(np.size(result_value))
+        loc = self._location(label)
+        if truncated:
+            dev = np.abs(result_value - result_shadow)
+            scale = np.maximum(np.abs(result_shadow), np.finfo(np.float64).tiny)
+            rel = dev / scale
+            flagged = int(np.count_nonzero(rel > self.threshold))
+            maxrel = float(np.max(rel)) if rel.size else 0.0
+            entry = self._flags.setdefault(loc, [0, 0, 0.0])
+            entry[0] += flagged
+            entry[1] += n
+            entry[2] = max(entry[2], maxrel)
+            if self.count_ops:
+                self.runtime.record_truncated_ops(
+                    n, location=loc, module=self.module, abs_err=dev, rel_err=rel, flagged=flagged
+                )
+            if self.track_memory:
+                self.runtime.record_truncated_bytes(8 * (n + inputs_sizes))
+        else:
+            entry = self._flags.setdefault(loc, [0, 0, 0.0])
+            entry[1] += n
+            if self.count_ops:
+                self.runtime.record_full_ops(n, module=self.module)
+            if self.track_memory:
+                self.runtime.record_full_bytes(8 * (n + inputs_sizes))
+
+    def _apply(self, ufunc, inputs: Sequence[ArrayLike], label: str):
+        pairs = [self._split(x) for x in inputs]
+        values = [p[0] for p in pairs]
+        shadows = [p[1] for p in pairs]
+        truncated = self._truncation_active()
+        exact_value = ufunc(*values)
+        result_value = self._quantize(exact_value) if truncated else exact_value
+        result_shadow = ufunc(*shadows)
+        self._record(
+            result_value,
+            result_shadow,
+            sum(int(np.size(v)) for v in values),
+            label,
+            truncated,
+        )
+        return ShadowArray(result_value, result_shadow, self)
+
+    def _reduce(self, ufunc, a: ArrayLike, axis: Optional[int], label: str):
+        value, shadow = self._split(a)
+        truncated = self._truncation_active()
+        exact_value = ufunc.reduce(value, axis=axis)
+        result_value = self._quantize(exact_value) if truncated else exact_value
+        result_shadow = ufunc.reduce(shadow, axis=axis)
+        result_value = np.asarray(result_value, dtype=np.float64)
+        result_shadow = np.asarray(result_shadow, dtype=np.float64)
+        self._record(result_value, result_shadow, int(np.size(value)), label, truncated)
+        return ShadowArray(result_value, result_shadow, self)
+
+    # -- structural (non-arithmetic) operations ---------------------------------
+    def where(self, cond: ArrayLike, a: ArrayLike, b: ArrayLike) -> ShadowArray:
+        cond_arr = cond.value.astype(bool) if isinstance(cond, ShadowArray) else np.asarray(cond, dtype=bool)
+        av, ash = self._split(a)
+        bv, bsh = self._split(b)
+        return ShadowArray(np.where(cond_arr, av, bv), np.where(cond_arr, ash, bsh), self)
+
+    def stack(self, arrays: Sequence[ArrayLike], axis: int = 0) -> ShadowArray:
+        pairs = [self._split(a) for a in arrays]
+        return ShadowArray(
+            np.stack([p[0] for p in pairs], axis=axis),
+            np.stack([p[1] for p in pairs], axis=axis),
+            self,
+        )
+
+    def concatenate(self, arrays: Sequence[ArrayLike], axis: int = 0) -> ShadowArray:
+        pairs = [self._split(a) for a in arrays]
+        return ShadowArray(
+            np.concatenate([p[0] for p in pairs], axis=axis),
+            np.concatenate([p[1] for p in pairs], axis=axis),
+            self,
+        )
+
+    def sign(self, a: ArrayLike) -> np.ndarray:
+        value, _ = self._split(a)
+        return np.sign(value)
+
+    def zeros_like(self, a: ArrayLike) -> ShadowArray:
+        shape = a.shape if isinstance(a, ShadowArray) else np.shape(a)
+        zeros = np.zeros(shape, dtype=np.float64)
+        return ShadowArray(zeros, zeros.copy(), self)
+
+    def full_like(self, a: ArrayLike, value: float) -> ShadowArray:
+        shape = a.shape if isinstance(a, ShadowArray) else np.shape(a)
+        arr = np.full(shape, float(value), dtype=np.float64)
+        return ShadowArray(self._quantize(arr) if self._truncation_active() else arr.copy(), arr, self)
+
+    def asplain(self, a: ArrayLike) -> np.ndarray:
+        value, _ = self._split(a)
+        return np.asarray(value, dtype=np.float64)
+
+    def clip_nonnegative(self, a: ArrayLike, floor: float = 0.0) -> ShadowArray:
+        value, shadow = self._split(a)
+        return ShadowArray(np.maximum(value, floor), np.maximum(shadow, floor), self)
+
+    # ------------------------------------------------------------------
+    def report(self) -> DeviationReport:
+        """Build the deviation heat-map collected so far."""
+        entries = [
+            (loc, int(v[0]), int(v[1]), float(v[2]))
+            for loc, v in self._flags.items()
+        ]
+        entries.sort(key=lambda e: (e[1], e[3]), reverse=True)
+        return DeviationReport(self.threshold, entries)
+
+    def reset_flags(self) -> None:
+        self._flags.clear()
+
+
+def to_shadow(x: ArrayLike, ctx: ShadowContext) -> ShadowArray:
+    """Module-level alias of :meth:`ShadowContext.lift` (``_raptor_pre_c``)."""
+    return ctx.lift(x)
+
+
+def from_shadow(x: ArrayLike) -> np.ndarray:
+    """Extract the truncated payload of a ShadowArray (``_raptor_post_c``)."""
+    if isinstance(x, ShadowArray):
+        return x.value.copy()
+    return np.asarray(x, dtype=np.float64)

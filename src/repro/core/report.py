@@ -1,0 +1,126 @@
+"""Profile reports and text output.
+
+RAPTOR dumps its collected statistics on request; this module renders the
+equivalent human-readable reports from a :class:`~repro.core.runtime.RaptorRuntime`:
+
+* operation-count summaries (truncated vs full-precision, per module);
+* per-location error/heat-map tables;
+* the qualitative feature matrix of Table 1 (for documentation parity).
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .runtime import RaptorRuntime
+
+__all__ = ["profile_report", "op_summary", "feature_matrix", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    cols = len(headers)
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i in range(cols):
+            widths[i] = max(widths[i], len(row[i]) if i < len(row) else 0)
+    sep = "  "
+    lines = [sep.join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(row[i].ljust(widths[i]) if i < len(row) else "" for i in range(cols)))
+    return "\n".join(lines)
+
+
+def op_summary(runtime: RaptorRuntime) -> Dict[str, float]:
+    """Headline counters: operation and byte counts plus truncated fractions."""
+    return {
+        "truncated_ops": runtime.ops.truncated,
+        "full_ops": runtime.ops.full,
+        "total_ops": runtime.ops.total,
+        "truncated_op_fraction": runtime.ops.truncated_fraction,
+        "truncated_bytes": runtime.mem.truncated,
+        "full_bytes": runtime.mem.full,
+        "truncated_byte_fraction": runtime.mem.truncated_fraction,
+    }
+
+
+def profile_report(runtime: RaptorRuntime, max_locations: int = 20) -> str:
+    """Full text report: headline counters, per-module and per-location data."""
+    lines: List[str] = []
+    summary = op_summary(runtime)
+    lines.append(f"RAPTOR profile: {runtime.name}")
+    lines.append(
+        "FP operations: {:,} truncated / {:,} full ({:.1%} truncated)".format(
+            int(summary["truncated_ops"]),
+            int(summary["full_ops"]),
+            summary["truncated_op_fraction"],
+        )
+    )
+    lines.append(
+        "FP memory traffic: {:,} B truncated / {:,} B full ({:.1%} truncated)".format(
+            int(summary["truncated_bytes"]),
+            int(summary["full_bytes"]),
+            summary["truncated_byte_fraction"],
+        )
+    )
+
+    per_module = runtime.module_ops()
+    if per_module:
+        lines.append("")
+        lines.append("Per-module operation counts:")
+        rows = [
+            [name, counters.truncated, counters.full, f"{counters.truncated_fraction:.1%}"]
+            for name, counters in sorted(per_module.items(), key=lambda kv: -kv[1].total)
+        ]
+        lines.append(format_table(["module", "truncated", "full", "trunc %"], rows))
+
+    locations = runtime.location_stats()
+    if locations:
+        lines.append("")
+        lines.append(f"Top {min(max_locations, len(locations))} operation sites:")
+        rows = []
+        for loc, st in locations[:max_locations]:
+            rows.append(
+                [
+                    loc.short(),
+                    st.count,
+                    st.flagged,
+                    f"{st.mean_abs_err:.3e}",
+                    f"{st.max_rel_err:.3e}",
+                ]
+            )
+        lines.append(
+            format_table(["location", "ops", "flagged", "mean |err|", "max rel err"], rows)
+        )
+    return "\n".join(lines)
+
+
+#: Feature columns of Table 1.
+_FEATURES = (
+    "full_app_truncation",
+    "dynamic_truncation",
+    "flexible_formats",
+    "scoped_truncation",
+    "granular_truncation",
+    "error_tracking",
+    "non_differentiable_code",
+)
+
+
+def feature_matrix() -> Dict[str, Dict[str, object]]:
+    """The RAPTOR row (and the categories) of the paper's Table 1.
+
+    The other tools' rows are published observations, not something this
+    library can measure; only RAPTOR's own feature set — which this
+    reproduction implements — is returned programmatically, together with
+    the category tags (B: automatic precision change, C: system-software
+    enabled, E: wrapper/emulator).
+    """
+    return {
+        "RAPTOR": {
+            "categories": ("B", "C", "E"),
+            "languages": ("C", "C++", "Fortran"),
+            "features": {name: True for name in _FEATURES},
+        }
+    }

@@ -1,0 +1,194 @@
+"""Scalar emulated floating-point values (the MPFR-variable analogue).
+
+RAPTOR's runtime represents each truncated value as an ``mpfr_t`` with the
+requested precision.  :class:`EmulatedFloat` plays that role here: a scalar
+that stores its payload in binary64 but guarantees that the payload is always
+exactly representable in its :class:`~repro.core.fpformat.FPFormat`, and whose
+arithmetic rounds every intermediate result to that format.
+
+The class exists mainly for API parity with the paper (op-mode array kernels
+use :mod:`repro.core.opmode` instead, which is vectorised); it is also what
+mem-mode uses for per-value bookkeeping of scalars.
+"""
+from __future__ import annotations
+
+import math
+from typing import Callable, Union
+
+import numpy as np
+
+from .fpformat import FP64, FPFormat
+from .quantize import RoundingMode, quantize
+
+__all__ = ["EmulatedFloat", "emulated_math"]
+
+Number = Union[int, float, "EmulatedFloat"]
+
+
+def _coerce(value: Number) -> float:
+    if isinstance(value, EmulatedFloat):
+        return value.value
+    return float(value)
+
+
+class EmulatedFloat:
+    """A floating-point scalar emulated at an arbitrary reduced precision.
+
+    Parameters
+    ----------
+    value:
+        Initial value; it is rounded into ``fmt`` immediately.
+    fmt:
+        Target format.  Defaults to binary64 (no-op emulation).
+    rounding:
+        Rounding mode applied after every operation.
+    """
+
+    __slots__ = ("_value", "fmt", "rounding")
+
+    def __init__(
+        self,
+        value: Number = 0.0,
+        fmt: FPFormat = FP64,
+        rounding: str = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        self.fmt = fmt
+        self.rounding = rounding
+        self._value = float(quantize(_coerce(value), fmt, rounding))
+
+    # -- basic protocol ------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """The binary64 payload (always representable in ``fmt``)."""
+        return self._value
+
+    def __float__(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EmulatedFloat({self._value!r}, fmt=e{self.fmt.exp_bits}m{self.fmt.man_bits})"
+
+    def _make(self, raw: float) -> "EmulatedFloat":
+        out = EmulatedFloat.__new__(EmulatedFloat)
+        out.fmt = self.fmt
+        out.rounding = self.rounding
+        out._value = float(quantize(raw, self.fmt, self.rounding))
+        return out
+
+    # -- arithmetic ----------------------------------------------------------
+    def _binop(self, other: Number, op: Callable[[float, float], float]) -> "EmulatedFloat":
+        return self._make(op(self._value, _coerce(other)))
+
+    def _rbinop(self, other: Number, op: Callable[[float, float], float]) -> "EmulatedFloat":
+        return self._make(op(_coerce(other), self._value))
+
+    def __add__(self, other: Number) -> "EmulatedFloat":
+        return self._binop(other, lambda a, b: a + b)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "EmulatedFloat":
+        return self._binop(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: Number) -> "EmulatedFloat":
+        return self._rbinop(other, lambda a, b: a - b)
+
+    def __mul__(self, other: Number) -> "EmulatedFloat":
+        return self._binop(other, lambda a, b: a * b)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "EmulatedFloat":
+        return self._binop(other, lambda a, b: float(np.divide(a, b)))
+
+    def __rtruediv__(self, other: Number) -> "EmulatedFloat":
+        return self._rbinop(other, lambda a, b: float(np.divide(a, b)))
+
+    def __pow__(self, other: Number) -> "EmulatedFloat":
+        return self._binop(other, lambda a, b: a ** b)
+
+    def __neg__(self) -> "EmulatedFloat":
+        return self._make(-self._value)
+
+    def __abs__(self) -> "EmulatedFloat":
+        return self._make(abs(self._value))
+
+    # -- comparisons (exact, on the emulated payloads) ------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float, EmulatedFloat)):
+            return self._value == _coerce(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __lt__(self, other: Number) -> bool:
+        return self._value < _coerce(other)
+
+    def __le__(self, other: Number) -> bool:
+        return self._value <= _coerce(other)
+
+    def __gt__(self, other: Number) -> bool:
+        return self._value > _coerce(other)
+
+    def __ge__(self, other: Number) -> bool:
+        return self._value >= _coerce(other)
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    # -- elementary functions --------------------------------------------------
+    def sqrt(self) -> "EmulatedFloat":
+        return self._make(math.sqrt(self._value) if self._value >= 0 else math.nan)
+
+    def exp(self) -> "EmulatedFloat":
+        return self._make(np.exp(self._value))
+
+    def log(self) -> "EmulatedFloat":
+        return self._make(np.log(self._value) if self._value > 0 else -math.inf if self._value == 0 else math.nan)
+
+    def sin(self) -> "EmulatedFloat":
+        return self._make(math.sin(self._value))
+
+    def cos(self) -> "EmulatedFloat":
+        return self._make(math.cos(self._value))
+
+    def fma(self, b: Number, c: Number) -> "EmulatedFloat":
+        """Multiply-add rounded once into the target format.
+
+        The product and sum are evaluated in binary64 (a single extra
+        rounding relative to a true fused operation, negligible for the
+        reduced precisions this library targets) and then rounded into
+        ``fmt`` once, matching the single-rounding contract of
+        ``mpfr_fma`` at the target precision.
+        """
+        return self._make(self._value * _coerce(b) + _coerce(c))
+
+
+def emulated_math(fmt: FPFormat):
+    """Return a tiny module-like namespace of elementary functions that
+    operate on plain floats but round every result into ``fmt``.
+
+    This mirrors RAPTOR's replacement of libm calls (``sqrt``, ``exp``, ...)
+    with MPFR-backed wrappers.
+    """
+
+    def _wrap(fn: Callable[[float], float]) -> Callable[[float], float]:
+        def wrapped(x: float) -> float:
+            return float(quantize(fn(float(quantize(x, fmt))), fmt))
+
+        wrapped.__name__ = fn.__name__
+        return wrapped
+
+    class _NS:
+        sqrt = staticmethod(_wrap(math.sqrt))
+        exp = staticmethod(_wrap(np.exp))
+        log = staticmethod(_wrap(lambda x: math.log(x)))
+        sin = staticmethod(_wrap(math.sin))
+        cos = staticmethod(_wrap(math.cos))
+        tan = staticmethod(_wrap(math.tan))
+        atan = staticmethod(_wrap(math.atan))
+        fabs = staticmethod(_wrap(math.fabs))
+
+    return _NS

@@ -1,0 +1,5 @@
+"""Helmholtz-like tabulated stellar EOS (Cellular detonation substrate)."""
+from .newton import NewtonResult, NewtonSolverConfig, invert_energy
+from .table import HelmholtzTable
+
+__all__ = ["HelmholtzTable", "NewtonSolverConfig", "NewtonResult", "invert_energy"]

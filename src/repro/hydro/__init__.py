@@ -1,0 +1,18 @@
+"""Compressible hydrodynamics solver (analogue of Flash-X's Spark solver)."""
+from .eos import GammaLawEOS
+from .reconstruction import SCHEMES, reconstruct
+from .riemann import SOLVERS, euler_flux, hll_flux, hllc_flux
+from .solver import ContextProvider, HydroSolver, default_context_provider
+
+__all__ = [
+    "GammaLawEOS",
+    "reconstruct",
+    "SCHEMES",
+    "euler_flux",
+    "hll_flux",
+    "hllc_flux",
+    "SOLVERS",
+    "HydroSolver",
+    "ContextProvider",
+    "default_context_provider",
+]

@@ -1,0 +1,310 @@
+"""Unsplit finite-volume compressible hydrodynamics solver (Spark analogue).
+
+The solver advances the 2-D compressible Euler equations on the AMR grid of
+:mod:`repro.amr`.  It is deliberately organised in the same modular stages as
+Flash-X's Spark solver, because the mem-mode debugging experiment (Table 2)
+fences off individual stages:
+
+* ``recon``   — interface-state reconstruction (:mod:`repro.hydro.reconstruction`),
+* ``riemann`` — approximate Riemann solver (:mod:`repro.hydro.riemann`),
+* ``update``  — flux divergence and conserved-variable update.
+
+Each stage performs its floating-point work through a numerics context
+obtained from a *context provider*, which is how all truncation policies
+(global, AMR cutoff, module-selective, mem-mode) plug in without the solver
+knowing anything about them.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..amr.grid import AMRGrid
+from ..core.memmode import ShadowContext
+from ..core.opmode import FPContext, FullPrecisionContext
+from .eos import GammaLawEOS
+from .reconstruction import reconstruct
+from .riemann import SOLVERS
+
+__all__ = ["HydroSolver", "ContextProvider", "default_context_provider"]
+
+#: signature of the context provider: (module, level, max_level) -> FPContext
+ContextProvider = Callable[[str, Optional[int], Optional[int]], FPContext]
+
+PRIMITIVE_VARS = ("dens", "velx", "vely", "pres")
+
+
+def default_context_provider(module: str, level=None, max_level=None) -> FPContext:
+    """Full-precision provider used when no truncation policy is active."""
+    return FullPrecisionContext(module=module)
+
+
+class HydroSolver:
+    """Compressible Euler solver on block-AMR grids.
+
+    Parameters
+    ----------
+    eos:
+        Gamma-law EOS (defaults to gamma = 1.4).
+    reconstruction:
+        "pcm", "plm" (default) or "weno5".
+    riemann:
+        "hll", "hlle" or "hllc" (default).
+    cfl:
+        CFL number for :meth:`compute_dt`.
+    rk_stages:
+        1 (forward Euler) or 2 (SSP-RK2, default).
+    module:
+        Module label under which the solver requests its numerics contexts
+        ("hydro" by convention; policies match on it).
+    """
+
+    def __init__(
+        self,
+        eos: Optional[GammaLawEOS] = None,
+        reconstruction: str = "plm",
+        riemann: str = "hllc",
+        cfl: float = 0.4,
+        rk_stages: int = 2,
+        module: str = "hydro",
+    ) -> None:
+        if riemann not in SOLVERS:
+            raise ValueError(f"unknown riemann solver {riemann!r}")
+        if rk_stages not in (1, 2):
+            raise ValueError("rk_stages must be 1 or 2")
+        self.eos = eos if eos is not None else GammaLawEOS()
+        self.reconstruction = reconstruction
+        self.riemann = riemann
+        self.cfl = float(cfl)
+        self.rk_stages = int(rk_stages)
+        self.module = module
+
+    # ------------------------------------------------------------------
+    # time step (full-precision diagnostic, as in the paper's fixed-dt runs)
+    # ------------------------------------------------------------------
+    def compute_dt(self, grid: AMRGrid) -> float:
+        """Global CFL time step over all leaf blocks."""
+        dt = np.inf
+        for block in grid.blocks():
+            dens = block.interior_view("dens")
+            velx = block.interior_view("velx")
+            vely = block.interior_view("vely")
+            pres = block.interior_view("pres")
+            dens_f, pres_f = self.eos.apply_floors(dens, pres)
+            cs = np.sqrt(self.eos.gamma * pres_f / dens_f)
+            sx = np.max(np.abs(velx) + cs)
+            sy = np.max(np.abs(vely) + cs)
+            speed = max(sx / block.dx, sy / block.dy, 1e-30)
+            dt = min(dt, 1.0 / speed)
+        return self.cfl * float(dt)
+
+    # ------------------------------------------------------------------
+    # per-block update
+    # ------------------------------------------------------------------
+    def _stage_contexts(self, ctx: FPContext) -> Dict[str, FPContext]:
+        """Derive per-stage contexts (mem-mode gets scoped module labels so
+        individual stages can be excluded / attributed; op-mode reuses the
+        block context)."""
+        if isinstance(ctx, ShadowContext):
+            return {
+                "recon": ctx.scoped("recon"),
+                "riemann": ctx.scoped("riemann"),
+                "update": ctx.scoped("update"),
+                "base": ctx,
+            }
+        return {"recon": ctx, "riemann": ctx, "update": ctx, "base": ctx}
+
+    def _lift(self, ctx: FPContext, arr: np.ndarray):
+        """Region-entry conversion of block data into the context's world."""
+        if isinstance(ctx, ShadowContext):
+            return ctx.lift(arr)
+        if ctx.truncating:
+            return ctx.const(arr)
+        return arr
+
+    def _directional_flux(self, prims: Dict, axis: int, ng: int, n: int, stages: Dict) -> Dict:
+        """Fluxes at the ``n+1`` interior faces along ``axis``."""
+        recon_ctx = stages["recon"]
+        riemann_ctx = stages["riemann"]
+
+        normal, transverse = ("velx", "vely") if axis == 0 else ("vely", "velx")
+        left: Dict = {}
+        right: Dict = {}
+        for target, source in (("dens", "dens"), ("velx", normal), ("vely", transverse), ("pres", "pres")):
+            l, r = reconstruct(prims[source], axis, ng, n, recon_ctx, self.reconstruction)
+            left[target] = l
+            right[target] = r
+
+        # keep reconstructed density/pressure physical
+        left["dens"] = recon_ctx.maximum(left["dens"], recon_ctx.const(self.eos.density_floor), "recon:floor_d")
+        right["dens"] = recon_ctx.maximum(right["dens"], recon_ctx.const(self.eos.density_floor), "recon:floor_d")
+        left["pres"] = recon_ctx.maximum(left["pres"], recon_ctx.const(self.eos.pressure_floor), "recon:floor_p")
+        right["pres"] = recon_ctx.maximum(right["pres"], recon_ctx.const(self.eos.pressure_floor), "recon:floor_p")
+
+        flux = SOLVERS[self.riemann](left, right, self.eos, riemann_ctx)
+        if axis == 0:
+            return {"dens": flux["dens"], "momx": flux["momn"], "momy": flux["momt"], "ener": flux["ener"]}
+        return {"dens": flux["dens"], "momx": flux["momt"], "momy": flux["momn"], "ener": flux["ener"]}
+
+    def advance_block(
+        self,
+        block,
+        dt: float,
+        ctx: FPContext,
+    ) -> Dict[str, np.ndarray]:
+        """One flux-divergence update of a single block.
+
+        ``block.data`` must have its guard cells filled.  Returns the new
+        interior primitive variables as plain binary64 arrays (the AMR grid
+        stores plain arrays regardless of the instrumentation in use).
+        """
+        ng, nxb, nyb = block.ng, block.nxb, block.nyb
+        stages = self._stage_contexts(ctx)
+        update_ctx = stages["update"]
+
+        prims = {name: self._lift(stages["base"], block.data[name]) for name in PRIMITIVE_VARS}
+
+        # x-sweep uses interior rows in y; y-sweep interior columns in x
+        prims_x = {k: v[:, ng:ng + nyb] for k, v in prims.items()}
+        prims_y = {k: v[ng:ng + nxb, :] for k, v in prims.items()}
+        flux_x = self._directional_flux(prims_x, 0, ng, nxb, stages)
+        flux_y = self._directional_flux(prims_y, 1, ng, nyb, stages)
+
+        # interior primitive / conserved state
+        interior = {k: v[ng:ng + nxb, ng:ng + nyb] for k, v in prims.items()}
+        dens, velx, vely, pres = (interior[k] for k in PRIMITIVE_VARS)
+        momx = update_ctx.mul(dens, velx, "update:momx")
+        momy = update_ctx.mul(dens, vely, "update:momy")
+        ener = self.eos.total_energy(dens, velx, vely, pres, update_ctx)
+        cons = {"dens": dens, "momx": momx, "momy": momy, "ener": ener}
+
+        dtdx = update_ctx.const(dt / block.dx)
+        dtdy = update_ctx.const(dt / block.dy)
+        new_cons: Dict = {}
+        for comp in ("dens", "momx", "momy", "ener"):
+            fx = flux_x[comp]
+            fy = flux_y[comp]
+            div_x = update_ctx.sub(fx[1:, :], fx[:-1, :], "update:div_x")
+            div_y = update_ctx.sub(fy[:, 1:], fy[:, :-1], "update:div_y")
+            change = update_ctx.add(
+                update_ctx.mul(dtdx, div_x, "update:dtdx_div"),
+                update_ctx.mul(dtdy, div_y, "update:dtdy_div"),
+                "update:div",
+            )
+            new_cons[comp] = update_ctx.sub(cons[comp], change, "update:new_u")
+
+        # conserved -> primitive, with floors (the "update" stage of Spark)
+        new_dens = update_ctx.maximum(
+            new_cons["dens"], update_ctx.const(self.eos.density_floor), "update:floor_d"
+        )
+        new_velx = update_ctx.div(new_cons["momx"], new_dens, "update:velx")
+        new_vely = update_ctx.div(new_cons["momy"], new_dens, "update:vely")
+        new_pres = self.eos.pressure_from_total_energy(
+            new_dens, new_cons["momx"], new_cons["momy"], new_cons["ener"], update_ctx
+        )
+
+        return {
+            "dens": update_ctx.asplain(new_dens),
+            "velx": update_ctx.asplain(new_velx),
+            "vely": update_ctx.asplain(new_vely),
+            "pres": update_ctx.asplain(new_pres),
+        }
+
+    # ------------------------------------------------------------------
+    # grid-level stepping
+    # ------------------------------------------------------------------
+    def _substep(self, grid: AMRGrid, dt: float, provider: ContextProvider) -> None:
+        """One forward-Euler substep over all leaves (guard cells refilled)."""
+        max_level = grid.finest_level
+        updates: Dict = {}
+        for key in grid.sorted_keys():
+            block = grid.leaves[key]
+            ctx = provider(self.module, block.level, max_level)
+            updates[key] = self.advance_block(block, dt, ctx)
+        for key, prims in updates.items():
+            block = grid.leaves[key]
+            for name, values in prims.items():
+                block.set_interior(name, values)
+        grid.fill_guard_cells(list(PRIMITIVE_VARS))
+
+    def _conserved_interior(self, block) -> Dict[str, np.ndarray]:
+        dens = block.interior_view("dens").copy()
+        velx = block.interior_view("velx").copy()
+        vely = block.interior_view("vely").copy()
+        pres = block.interior_view("pres").copy()
+        eint = pres / ((self.eos.gamma - 1.0) * dens)
+        ener = dens * eint + 0.5 * dens * (velx ** 2 + vely ** 2)
+        return {"dens": dens, "momx": dens * velx, "momy": dens * vely, "ener": ener}
+
+    def _write_conserved(self, block, cons: Dict[str, np.ndarray]) -> None:
+        dens = np.maximum(cons["dens"], self.eos.density_floor)
+        velx = cons["momx"] / dens
+        vely = cons["momy"] / dens
+        eint_dens = cons["ener"] - 0.5 * dens * (velx ** 2 + vely ** 2)
+        pres = np.maximum((self.eos.gamma - 1.0) * eint_dens, self.eos.pressure_floor)
+        block.set_interior("dens", dens)
+        block.set_interior("velx", velx)
+        block.set_interior("vely", vely)
+        block.set_interior("pres", pres)
+
+    def step(
+        self,
+        grid: AMRGrid,
+        dt: float,
+        provider: ContextProvider = default_context_provider,
+    ) -> None:
+        """Advance the whole grid by ``dt``.
+
+        With ``rk_stages == 2`` the SSP-RK2 combination
+        ``U^{n+1} = 1/2 U^n + 1/2 (U^1 + dt L(U^1))`` is used; the averaging
+        is performed on conserved variables at storage precision.
+        """
+        if self.rk_stages == 1:
+            self._substep(grid, dt, provider)
+            return
+
+        old_cons = {key: self._conserved_interior(grid.leaves[key]) for key in grid.sorted_keys()}
+        self._substep(grid, dt, provider)
+        self._substep(grid, dt, provider)
+        for key, cons0 in old_cons.items():
+            block = grid.leaves[key]
+            cons2 = self._conserved_interior(block)
+            blended = {
+                comp: 0.5 * cons0[comp] + 0.5 * cons2[comp] for comp in cons0
+            }
+            self._write_conserved(block, blended)
+        grid.fill_guard_cells(list(PRIMITIVE_VARS))
+
+    def evolve(
+        self,
+        grid: AMRGrid,
+        t_end: float,
+        provider: ContextProvider = default_context_provider,
+        fixed_dt: Optional[float] = None,
+        max_steps: int = 100000,
+        regrid_interval: int = 0,
+        refine_vars=("dens", "pres"),
+        refine_cutoff: float = 0.8,
+        derefine_cutoff: float = 0.2,
+        callback: Optional[Callable[[int, float, AMRGrid], None]] = None,
+    ) -> Dict[str, float]:
+        """Evolve to ``t_end``; optionally regrid every ``regrid_interval`` steps.
+
+        Returns a small summary dict (steps taken, final time, final dt).
+        """
+        t = 0.0
+        step_count = 0
+        dt = fixed_dt if fixed_dt is not None else self.compute_dt(grid)
+        while t < t_end - 1e-14 and step_count < max_steps:
+            if fixed_dt is None:
+                dt = self.compute_dt(grid)
+            dt = min(dt, t_end - t)
+            self.step(grid, dt, provider)
+            t += dt
+            step_count += 1
+            if regrid_interval and step_count % regrid_interval == 0:
+                grid.regrid(list(refine_vars), refine_cutoff, derefine_cutoff)
+            if callback is not None:
+                callback(step_count, t, grid)
+        return {"steps": float(step_count), "time": float(t), "dt": float(dt)}

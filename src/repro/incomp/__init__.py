@@ -1,0 +1,13 @@
+"""Incompressible multiphase flow substrate (rising-bubble benchmark)."""
+from .levelset import LevelSet, circle_level_set, interface_level_map
+from .poisson import PoissonSolver
+from .solver import BubbleConfig, BubbleSolver
+
+__all__ = [
+    "LevelSet",
+    "circle_level_set",
+    "interface_level_map",
+    "PoissonSolver",
+    "BubbleConfig",
+    "BubbleSolver",
+]

@@ -1,0 +1,102 @@
+"""Pressure-Poisson solver for the fractional-step projection method.
+
+The Bubble solver's projection step requires a Poisson solve each time step.
+In Flash-X this is done by Hypre; here a sparse direct factorisation of the
+five-point Laplacian (homogeneous Neumann boundaries, nullspace pinned) is
+pre-computed once and reused for every step — the projection step is never a
+truncation target in the paper (only the advection and diffusion operators
+are), so it runs at full precision and speed.
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = ["PoissonSolver"]
+
+
+class PoissonSolver:
+    """Five-point Laplacian solver on a uniform (nx, ny) cell-centred grid.
+
+    Solves ``lap(p) = rhs`` with homogeneous Neumann boundary conditions on
+    all four walls.  The operator has a nullspace (constant fields); it is
+    removed by pinning the first cell and projecting the right-hand side to
+    zero mean, which is the compatible choice for the projection method.
+    """
+
+    def __init__(self, nx: int, ny: int, dx: float, dy: float) -> None:
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.dx = float(dx)
+        self.dy = float(dy)
+        self._lu = spla.splu(self._build_matrix().tocsc())
+
+    # ------------------------------------------------------------------
+    def _build_matrix(self) -> sp.spmatrix:
+        nx, ny = self.nx, self.ny
+        idx = np.arange(nx * ny).reshape(nx, ny)
+        inv_dx2 = 1.0 / self.dx ** 2
+        inv_dy2 = 1.0 / self.dy ** 2
+
+        rows, cols, vals = [], [], []
+
+        def add(r, c, v):
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+
+        for i in range(nx):
+            for j in range(ny):
+                r = idx[i, j]
+                diag = 0.0
+                for di, dj, w in ((-1, 0, inv_dx2), (1, 0, inv_dx2), (0, -1, inv_dy2), (0, 1, inv_dy2)):
+                    ii, jj = i + di, j + dj
+                    if 0 <= ii < nx and 0 <= jj < ny:
+                        add(r, idx[ii, jj], w)
+                        diag -= w
+                    # Neumann: missing neighbour contributes nothing (zero flux)
+                add(r, r, diag)
+
+        mat = sp.coo_matrix((vals, (rows, cols)), shape=(nx * ny, nx * ny)).tolil()
+        # pin the first cell to remove the constant nullspace
+        mat[0, :] = 0.0
+        mat[0, 0] = 1.0
+        return mat
+
+    # ------------------------------------------------------------------
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve for p given the cell-centred right-hand side."""
+        if rhs.shape != (self.nx, self.ny):
+            raise ValueError(f"expected rhs shape {(self.nx, self.ny)}, got {rhs.shape}")
+        b = rhs.astype(np.float64).copy()
+        b -= b.mean()  # compatibility with the Neumann problem
+        flat = b.reshape(-1).copy()
+        flat[0] = 0.0  # pinned cell
+        p = self._lu.solve(flat)
+        p = p.reshape(self.nx, self.ny)
+        return p - p.mean()
+
+    # ------------------------------------------------------------------
+    def residual(self, p: np.ndarray, rhs: np.ndarray) -> float:
+        """Max-norm residual of the (zero-mean) discrete Poisson equation."""
+        lap = self.apply_laplacian(p)
+        r = lap - (rhs - rhs.mean())
+        return float(np.max(np.abs(r[1:-1, 1:-1])))
+
+    def apply_laplacian(self, p: np.ndarray) -> np.ndarray:
+        """Apply the Neumann five-point Laplacian to a field."""
+        padded = np.pad(p, 1, mode="edge")
+        lap = (
+            (padded[2:, 1:-1] - 2 * p + padded[:-2, 1:-1]) / self.dx ** 2
+            + (padded[1:-1, 2:] - 2 * p + padded[1:-1, :-2]) / self.dy ** 2
+        )
+        return lap
+
+    def gradient(self, p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Cell-centred pressure gradient (one-sided at the walls)."""
+        gx = np.gradient(p, self.dx, axis=0)
+        gy = np.gradient(p, self.dy, axis=1)
+        return gx, gy

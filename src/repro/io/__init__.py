@@ -1,0 +1,5 @@
+"""Checkpoints and the sfocu comparison utility."""
+from .checkpoint import Checkpoint
+from .sfocu import ComparisonReport, VariableComparison, compare, l1_norm
+
+__all__ = ["Checkpoint", "compare", "l1_norm", "ComparisonReport", "VariableComparison"]

@@ -1,0 +1,5 @@
+"""Domain-decomposition substrate (simulated MPI ranks)."""
+from .comm import REDUCTION_OPS, SimulatedComm
+from .decomposition import BlockDistribution, morton_index
+
+__all__ = ["BlockDistribution", "morton_index", "SimulatedComm", "REDUCTION_OPS"]

@@ -1,0 +1,70 @@
+"""Simulated communicator: mpi4py-style reductions without MPI.
+
+Only the operations the workloads actually need are provided: rank-local
+contributions are combined with ``allreduce``-style semantics, executed
+serially and deterministically.  The API mirrors mpi4py's lowercase
+(pickle-based) methods so the examples read like the real thing; if mpi4py
+is installed and the program is launched under ``mpiexec``, the same
+workload code can be pointed at a real communicator instead.
+"""
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["SimulatedComm", "REDUCTION_OPS"]
+
+REDUCTION_OPS: Dict[str, Callable] = {
+    "sum": lambda values: np.sum(values, axis=0),
+    "max": lambda values: np.max(values, axis=0),
+    "min": lambda values: np.min(values, axis=0),
+}
+
+
+class SimulatedComm:
+    """A deterministic, in-process stand-in for an MPI communicator.
+
+    Rank-local values are passed in as a list indexed by rank; the
+    "collective" combines them exactly once, in rank order, so results are
+    reproducible and independent of any real parallel execution.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self._size = int(size)
+
+    # ------------------------------------------------------------------
+    def Get_size(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def _check(self, per_rank: Sequence) -> None:
+        if len(per_rank) != self._size:
+            raise ValueError(
+                f"expected one contribution per rank ({self._size}), got {len(per_rank)}"
+            )
+
+    def allreduce(self, per_rank_values: Sequence, op: str = "sum"):
+        """Combine one contribution per rank; every rank gets the result."""
+        self._check(per_rank_values)
+        if op not in REDUCTION_OPS:
+            raise ValueError(f"unknown reduction op {op!r}")
+        values = [np.asarray(v) for v in per_rank_values]
+        return REDUCTION_OPS[op](values)
+
+    def allgather(self, per_rank_values: Sequence) -> List:
+        """Each rank contributes one value; everyone receives the full list."""
+        self._check(per_rank_values)
+        return list(per_rank_values)
+
+    def bcast(self, value, root: int = 0):
+        """Broadcast is the identity in a simulated communicator."""
+        if not (0 <= root < self._size):
+            raise ValueError(f"root {root} out of range")
+        return value

@@ -1,0 +1,88 @@
+"""Domain decomposition of AMR blocks over (simulated) MPI ranks.
+
+The paper runs Flash-X with 1–32 MPI ranks and notes that the
+parallelisation does not affect the truncation results: the domain is split
+over ranks, truncated physics routines operate cell-locally, and no MPI
+collectives are called inside truncated regions.  This module reproduces
+the decomposition side of that statement — blocks are assigned to ranks
+along a Morton (Z-order) space-filling curve exactly like PARAMESH — so the
+examples and tests can demonstrate rank-independence of the results without
+requiring an MPI installation.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..amr.block import BlockKey
+from ..amr.grid import AMRGrid
+
+__all__ = ["morton_index", "BlockDistribution"]
+
+
+def morton_index(key: BlockKey) -> int:
+    """Morton (Z-order) index of a block, interleaving the bits of (ix, iy).
+
+    Finer blocks sort close to their parents, which keeps each rank's share
+    spatially compact — the same load-balancing idea PARAMESH uses.
+    """
+    level, ix, iy = key
+    code = 0
+    for bit in range(level + 1):
+        code |= ((ix >> bit) & 1) << (2 * bit)
+        code |= ((iy >> bit) & 1) << (2 * bit + 1)
+    # order primarily by position, then by level so parents precede children
+    return (code << 5) | level
+
+
+@dataclass
+class BlockDistribution:
+    """Assignment of leaf blocks to ``n_ranks`` simulated ranks."""
+
+    n_ranks: int
+    assignment: Dict[BlockKey, int]
+
+    @classmethod
+    def from_grid(cls, grid: AMRGrid, n_ranks: int) -> "BlockDistribution":
+        """Distribute the grid's leaves over ranks in Morton order, giving
+        each rank a contiguous chunk of the space-filling curve."""
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        keys = sorted(grid.leaves.keys(), key=morton_index)
+        n = len(keys)
+        assignment: Dict[BlockKey, int] = {}
+        base, extra = divmod(n, n_ranks)
+        start = 0
+        for rank in range(n_ranks):
+            count = base + (1 if rank < extra else 0)
+            for key in keys[start:start + count]:
+                assignment[key] = rank
+            start += count
+        return cls(n_ranks=n_ranks, assignment=assignment)
+
+    # ------------------------------------------------------------------
+    def rank_of(self, key: BlockKey) -> int:
+        return self.assignment[key]
+
+    def blocks_for(self, rank: int) -> List[BlockKey]:
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
+        return sorted([k for k, r in self.assignment.items() if r == rank])
+
+    def counts(self) -> List[int]:
+        """Number of blocks per rank."""
+        counts = [0] * self.n_ranks
+        for rank in self.assignment.values():
+            counts[rank] += 1
+        return counts
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean block count (1.0 = perfectly balanced)."""
+        counts = self.counts()
+        nonzero = [c for c in counts]
+        mean = sum(nonzero) / max(len(nonzero), 1)
+        return max(nonzero) / mean if mean > 0 else 1.0
+
+    def __len__(self) -> int:
+        return len(self.assignment)

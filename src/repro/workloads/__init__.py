@@ -1,0 +1,23 @@
+"""The four evaluation workloads of the paper (Section 4)."""
+from .base import CompressibleConfig, CompressibleWorkload, WorkloadRun
+from .bubble import STRATEGIES, BubbleExperimentConfig, BubbleRunResult, BubbleWorkload
+from .cellular import CellularConfig, CellularResult, CellularWorkload
+from .sedov import SedovConfig, SedovWorkload
+from .sod import SodConfig, SodWorkload
+
+__all__ = [
+    "CompressibleConfig",
+    "CompressibleWorkload",
+    "WorkloadRun",
+    "SedovConfig",
+    "SedovWorkload",
+    "SodConfig",
+    "SodWorkload",
+    "CellularConfig",
+    "CellularResult",
+    "CellularWorkload",
+    "BubbleExperimentConfig",
+    "BubbleRunResult",
+    "BubbleWorkload",
+    "STRATEGIES",
+]

@@ -1,0 +1,185 @@
+"""Common driver machinery for the compressible (AMR + hydro) workloads.
+
+The Sedov and Sod workloads share everything except their initial
+conditions: a block-AMR grid refined by the Löhner estimator, the Spark-like
+hydro solver, a truncation policy plugged in as the solver's context
+provider, and an sfocu comparison of the final state against the
+full-precision reference — exactly the experimental loop of Section 5.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..amr.grid import AMRGrid
+from ..core.runtime import RaptorRuntime
+from ..core.selective import NoTruncationPolicy, TruncationPolicy
+from ..hydro.solver import HydroSolver
+from ..io.checkpoint import Checkpoint
+from ..io.sfocu import compare
+
+__all__ = ["CompressibleConfig", "WorkloadRun", "CompressibleWorkload"]
+
+PRIMITIVE_VARS = ("dens", "velx", "vely", "pres")
+
+
+@dataclass
+class CompressibleConfig:
+    """Grid/solver configuration shared by the compressible workloads."""
+
+    nxb: int = 8
+    nyb: int = 8
+    n_root_x: int = 2
+    n_root_y: int = 2
+    max_level: int = 3
+    ng: int = 3
+    boundary: str = "outflow"
+    gamma: float = 1.4
+    reconstruction: str = "plm"
+    riemann: str = "hllc"
+    rk_stages: int = 1
+    cfl: float = 0.4
+    t_end: float = 0.05
+    fixed_dt: Optional[float] = None
+    regrid_interval: int = 4
+    refine_vars: Tuple[str, ...] = ("dens", "pres")
+    refine_cutoff: float = 0.55
+    derefine_cutoff: float = 0.15
+
+    @property
+    def finest_cells(self) -> Tuple[int, int]:
+        factor = 1 << (self.max_level - 1)
+        return (self.n_root_x * self.nxb * factor, self.n_root_y * self.nyb * factor)
+
+
+@dataclass
+class WorkloadRun:
+    """Everything one workload execution produces."""
+
+    name: str
+    checkpoint: Checkpoint
+    runtime: RaptorRuntime
+    grid: AMRGrid
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def truncated_fraction(self) -> float:
+        return self.runtime.ops.truncated_fraction
+
+    def giga_flops(self) -> Tuple[float, float]:
+        return self.runtime.giga_flops()
+
+    def l1_error(self, reference: "WorkloadRun", variable: str = "dens") -> float:
+        """sfocu L1 error of ``variable`` against a reference run."""
+        report = compare(self.checkpoint, reference.checkpoint, [variable])
+        return report.l1(variable)
+
+    def errors(self, reference: "WorkloadRun", variables: Sequence[str] = ("dens", "velx")) -> Dict[str, float]:
+        report = compare(self.checkpoint, reference.checkpoint, list(variables))
+        return {name: report.l1(name) for name in variables}
+
+
+class CompressibleWorkload:
+    """Base class for the Sedov and Sod experiments."""
+
+    name = "compressible"
+
+    def __init__(self, config: Optional[CompressibleConfig] = None) -> None:
+        self.config = config or CompressibleConfig()
+
+    # -- to be overridden by concrete workloads ------------------------------
+    def initial_condition(self, x: np.ndarray, y: np.ndarray) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def domain(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        return (0.0, 1.0), (0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def build_grid(self) -> AMRGrid:
+        cfg = self.config
+        xlim, ylim = self.domain()
+        grid = AMRGrid(
+            list(PRIMITIVE_VARS),
+            xlim=xlim,
+            ylim=ylim,
+            nxb=cfg.nxb,
+            nyb=cfg.nyb,
+            n_root_x=cfg.n_root_x,
+            n_root_y=cfg.n_root_y,
+            max_level=cfg.max_level,
+            ng=cfg.ng,
+            boundary=cfg.boundary,
+        )
+        grid.initialize_with_refinement(
+            self.initial_condition,
+            list(cfg.refine_vars),
+            refine_cutoff=cfg.refine_cutoff,
+            derefine_cutoff=cfg.derefine_cutoff,
+        )
+        return grid
+
+    def build_solver(self) -> HydroSolver:
+        cfg = self.config
+        from ..hydro.eos import GammaLawEOS
+
+        return HydroSolver(
+            eos=GammaLawEOS(gamma=cfg.gamma),
+            reconstruction=cfg.reconstruction,
+            riemann=cfg.riemann,
+            cfl=cfg.cfl,
+            rk_stages=cfg.rk_stages,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        policy: Optional[TruncationPolicy] = None,
+        runtime: Optional[RaptorRuntime] = None,
+        t_end: Optional[float] = None,
+        fixed_dt: Optional[float] = None,
+        regrid: Optional[bool] = None,
+    ) -> WorkloadRun:
+        """Execute the workload under a truncation policy.
+
+        ``policy=None`` runs the full-precision reference (with operation
+        counting still enabled so truncated fractions can be reported).
+        """
+        cfg = self.config
+        rt = runtime if runtime is not None else RaptorRuntime(self.name)
+        pol = policy if policy is not None else NoTruncationPolicy(runtime=rt)
+
+        grid = self.build_grid()
+        solver = self.build_solver()
+
+        def provider(module, level=None, max_level=None):
+            return pol.context_for(module=module, level=level, max_level=max_level)
+
+        do_regrid = cfg.regrid_interval if (regrid is None or regrid) else 0
+        summary = solver.evolve(
+            grid,
+            t_end=t_end if t_end is not None else cfg.t_end,
+            provider=provider,
+            fixed_dt=fixed_dt if fixed_dt is not None else cfg.fixed_dt,
+            regrid_interval=do_regrid,
+            refine_vars=cfg.refine_vars,
+            refine_cutoff=cfg.refine_cutoff,
+            derefine_cutoff=cfg.derefine_cutoff,
+        )
+
+        checkpoint = Checkpoint.from_grid(
+            grid,
+            variables=list(PRIMITIVE_VARS),
+            time=summary["time"],
+            metadata={"workload": self.name, "policy": pol.describe()},
+            level=cfg.max_level,
+        )
+        info = dict(summary)
+        info["n_leaves"] = float(grid.n_leaves)
+        info["finest_level"] = float(grid.finest_level)
+        return WorkloadRun(self.name, checkpoint, rt, grid, info)
+
+    def reference(self, **kwargs) -> WorkloadRun:
+        """Full-precision reference run (op counting enabled)."""
+        return self.run(policy=None, **kwargs)

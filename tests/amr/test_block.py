@@ -1,0 +1,83 @@
+"""Tests for AMR blocks."""
+import numpy as np
+import pytest
+
+from repro.amr import Block
+
+
+@pytest.fixture()
+def block():
+    b = Block((2, 1, 3), nxb=8, nyb=8, ng=2, xlo=0.5, xhi=1.0, ylo=1.5, yhi=2.0)
+    b.allocate(["dens", "pres"])
+    return b
+
+
+class TestGeometry:
+    def test_level_and_indices(self, block):
+        assert block.level == 2
+        assert block.ix == 1
+        assert block.iy == 3
+
+    def test_spacing(self, block):
+        assert block.dx == pytest.approx(0.5 / 8)
+        assert block.dy == pytest.approx(0.5 / 8)
+        assert block.cell_area == pytest.approx((0.5 / 8) ** 2)
+
+    def test_shape_with_guards(self, block):
+        assert block.shape_with_guards == (12, 12)
+        assert block.data["dens"].shape == (12, 12)
+
+    def test_cell_centers(self, block):
+        x, y = block.cell_centers()
+        assert len(x) == 8
+        assert x[0] == pytest.approx(0.5 + 0.5 * block.dx)
+        assert x[-1] == pytest.approx(1.0 - 0.5 * block.dx)
+        xg, _ = block.cell_centers(include_guards=True)
+        assert len(xg) == 12
+        assert xg[0] == pytest.approx(0.5 - 1.5 * block.dx)
+
+    def test_cell_mesh_shapes(self, block):
+        X, Y = block.cell_mesh()
+        assert X.shape == (8, 8)
+        Xg, _ = block.cell_mesh(include_guards=True)
+        assert Xg.shape == (12, 12)
+
+
+class TestData:
+    def test_interior_view_is_writable(self, block):
+        block.interior_view("dens")[...] = 3.0
+        assert np.all(block.data["dens"][2:-2, 2:-2] == 3.0)
+        assert np.all(block.data["dens"][0, :] == 0.0)
+
+    def test_set_interior_shape_check(self, block):
+        with pytest.raises(ValueError):
+            block.set_interior("dens", np.zeros((4, 4)))
+
+    def test_allocate_is_idempotent(self, block):
+        block.interior_view("dens")[...] = 1.0
+        block.allocate(["dens"])
+        assert np.all(block.interior_view("dens") == 1.0)
+
+    def test_integral(self, block):
+        block.set_interior("dens", np.full((8, 8), 2.0))
+        assert block.integral("dens") == pytest.approx(2.0 * 0.5 * 0.5)
+
+
+class TestTreeRelations:
+    def test_child_keys(self, block):
+        kids = block.child_keys()
+        assert kids == ((3, 2, 6), (3, 3, 6), (3, 2, 7), (3, 3, 7))
+
+    def test_parent_key(self, block):
+        assert block.parent_key() == (1, 0, 1)
+
+    def test_root_has_no_parent(self):
+        root = Block((1, 0, 0), 8, 8, 2, 0, 1, 0, 1)
+        with pytest.raises(ValueError):
+            root.parent_key()
+
+    def test_sibling_keys_include_self(self, block):
+        sibs = block.sibling_keys()
+        assert block.key in sibs
+        assert len(set(sibs)) == 4
+        assert all(k[0] == block.level for k in sibs)

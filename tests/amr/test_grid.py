@@ -1,0 +1,268 @@
+"""Tests for the AMR grid: topology, guard cells, refinement, covering grids."""
+import numpy as np
+import pytest
+
+from repro.amr import AMRGrid
+
+
+def make_grid(**kwargs):
+    defaults = dict(
+        variables=["dens", "velx", "vely"],
+        xlim=(0.0, 1.0),
+        ylim=(0.0, 1.0),
+        nxb=8,
+        nyb=8,
+        n_root_x=1,
+        n_root_y=1,
+        max_level=3,
+        ng=3,
+        boundary="outflow",
+    )
+    defaults.update(kwargs)
+    return AMRGrid(**defaults)
+
+
+def gaussian_ic(x, y):
+    r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2
+    return {"dens": 1.0 + 4.0 * np.exp(-r2 / 0.005), "velx": np.zeros_like(x), "vely": np.zeros_like(x)}
+
+
+class TestConstruction:
+    def test_root_blocks(self):
+        g = make_grid(n_root_x=2, n_root_y=3)
+        assert g.n_leaves == 6
+        assert g.finest_level == 1
+        assert g.leaf_levels() == {1: 6}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_grid(nxb=7)
+        with pytest.raises(ValueError):
+            make_grid(nxb=4, ng=3)
+        with pytest.raises(ValueError):
+            make_grid(max_level=0)
+        with pytest.raises(ValueError):
+            make_grid(boundary="bogus")
+
+    def test_block_bounds_partition_domain(self):
+        g = make_grid(n_root_x=2, n_root_y=2)
+        blocks = g.blocks()
+        assert min(b.xlo for b in blocks) == 0.0
+        assert max(b.xhi for b in blocks) == 1.0
+        total_area = sum((b.xhi - b.xlo) * (b.yhi - b.ylo) for b in blocks)
+        assert total_area == pytest.approx(1.0)
+
+    def test_initialize_sets_interiors(self):
+        g = make_grid()
+        g.initialize(gaussian_ic)
+        b = g.blocks()[0]
+        assert np.max(b.interior_view("dens")) > 1.0
+
+
+class TestRefinementTopology:
+    def test_refine_block_replaces_leaf_with_children(self):
+        g = make_grid()
+        g.initialize(gaussian_ic)
+        children = g.refine_block((1, 0, 0))
+        assert len(children) == 4
+        assert (1, 0, 0) not in g.leaves
+        assert g.n_leaves == 4
+        assert g.finest_level == 2
+
+    def test_refined_children_cover_parent_extent(self):
+        g = make_grid()
+        g.refine_block((1, 0, 0))
+        xs = sorted({(g.leaves[k].xlo, g.leaves[k].xhi) for k in g.leaves})
+        assert xs == [(0.0, 0.5), (0.5, 1.0)]
+
+    def test_refinement_preserves_integral(self):
+        g = make_grid()
+        g.initialize(gaussian_ic)
+        before = g.total_integral("dens")
+        g.refine_block((1, 0, 0))
+        assert g.total_integral("dens") == pytest.approx(before, rel=1e-12)
+
+    def test_derefine_roundtrip_preserves_integral(self):
+        g = make_grid()
+        g.initialize(gaussian_ic)
+        before = g.total_integral("dens")
+        g.refine_block((1, 0, 0))
+        g.derefine_siblings((1, 0, 0))
+        assert g.n_leaves == 1
+        assert g.total_integral("dens") == pytest.approx(before, rel=1e-12)
+
+    def test_derefine_requires_all_children(self):
+        g = make_grid()
+        g.refine_block((1, 0, 0))
+        g.refine_block((2, 0, 0))
+        with pytest.raises(KeyError):
+            g.derefine_siblings((1, 0, 0))
+
+    def test_refine_non_leaf_raises(self):
+        g = make_grid()
+        with pytest.raises(KeyError):
+            g.refine_block((2, 0, 0))
+
+
+class TestRegrid:
+    def test_regrid_refines_around_feature(self):
+        g = make_grid(max_level=3)
+        g.initialize_with_refinement(gaussian_ic, ["dens"], refine_cutoff=0.3, derefine_cutoff=0.05)
+        assert g.finest_level == 3
+        assert g.n_leaves > 4
+        # proper nesting: every leaf's neighbours resolve without error
+        for key in g.sorted_keys():
+            for side in ("-x", "+x", "-y", "+y"):
+                kind, _ = g.neighbor(key, side)
+                assert kind in ("same", "coarse", "fine", "boundary")
+
+    def test_regrid_respects_max_level(self):
+        g = make_grid(max_level=2)
+        g.initialize_with_refinement(gaussian_ic, ["dens"], refine_cutoff=0.2)
+        assert g.finest_level <= 2
+
+    def test_smooth_field_does_not_refine(self):
+        g = make_grid()
+        g.initialize(lambda x, y: {"dens": np.ones_like(x), "velx": np.zeros_like(x), "vely": np.zeros_like(x)})
+        summary = g.regrid(["dens"], refine_cutoff=0.5)
+        assert summary.refined == 0
+        assert g.n_leaves == 1
+
+    def test_derefinement_after_feature_removed(self):
+        g = make_grid(max_level=2)
+        g.initialize_with_refinement(gaussian_ic, ["dens"], refine_cutoff=0.3)
+        assert g.n_leaves > 1
+        # flatten the solution -> everything should coarsen back
+        for b in g.blocks():
+            b.interior_view("dens")[...] = 1.0
+        summary = g.regrid(["dens"], refine_cutoff=0.3, derefine_cutoff=0.1)
+        assert summary.derefined > 0
+        assert g.n_leaves < 8
+
+    def test_regrid_summary_repr(self):
+        g = make_grid()
+        g.initialize(gaussian_ic)
+        s = g.regrid(["dens"], refine_cutoff=0.3)
+        assert "RegridSummary" in repr(s)
+
+
+class TestGuardCells:
+    def test_same_level_exchange_matches_neighbor_interior(self):
+        g = make_grid(n_root_x=2, n_root_y=1, max_level=1)
+        g.initialize(lambda x, y: {"dens": x.copy(), "velx": np.zeros_like(x), "vely": np.zeros_like(x)})
+        g.fill_guard_cells(["dens"])
+        left = g.leaves[(1, 0, 0)]
+        right = g.leaves[(1, 1, 0)]
+        ng, nxb, nyb = g.ng, g.nxb, g.nyb
+        # left block's +x guards == right block's first interior columns
+        assert np.allclose(
+            left.data["dens"][ng + nxb:, ng:ng + nyb],
+            right.data["dens"][ng:2 * ng, ng:ng + nyb],
+        )
+
+    def test_outflow_boundary_zero_gradient(self):
+        g = make_grid(max_level=1)
+        g.initialize(lambda x, y: {"dens": 1.0 + x, "velx": np.zeros_like(x), "vely": np.zeros_like(x)})
+        g.fill_guard_cells(["dens"])
+        b = g.blocks()[0]
+        ng = g.ng
+        edge = b.data["dens"][ng, ng:ng + g.nyb]
+        for k in range(ng):
+            assert np.allclose(b.data["dens"][k, ng:ng + g.nyb], edge)
+
+    def test_periodic_boundary_wraps(self):
+        g = make_grid(n_root_x=2, boundary="periodic", max_level=1)
+        g.initialize(lambda x, y: {"dens": x.copy(), "velx": np.zeros_like(x), "vely": np.zeros_like(x)})
+        g.fill_guard_cells(["dens"])
+        left = g.leaves[(1, 0, 0)]
+        right = g.leaves[(1, 1, 0)]
+        ng, nxb, nyb = g.ng, g.nxb, g.nyb
+        assert np.allclose(
+            left.data["dens"][0:ng, ng:ng + nyb],
+            right.data["dens"][nxb:nxb + ng, ng:ng + nyb],
+        )
+
+    def test_reflect_boundary_flips_normal_velocity(self):
+        g = make_grid(boundary="reflect", max_level=1)
+        g.initialize(lambda x, y: {"dens": np.ones_like(x), "velx": 1.0 + x, "vely": np.zeros_like(x)})
+        g.fill_guard_cells()
+        b = g.blocks()[0]
+        ng, nyb = g.ng, g.nyb
+        # velx mirrored with sign flip at the -x face
+        assert np.allclose(
+            b.data["velx"][ng - 1, ng:ng + nyb], -b.data["velx"][ng, ng:ng + nyb]
+        )
+        # dens mirrored without sign flip
+        assert np.allclose(
+            b.data["dens"][ng - 1, ng:ng + nyb], b.data["dens"][ng, ng:ng + nyb]
+        )
+
+    def test_fine_coarse_exchange_consistency(self):
+        """Guard values across a fine-coarse interface approximate the
+        neighbouring solution (exact for this linear-in-x field under
+        piecewise-constant transfer within half a coarse cell)."""
+        g = make_grid(max_level=2)
+        g.initialize(lambda x, y: {"dens": x.copy(), "velx": np.zeros_like(x), "vely": np.zeros_like(x)})
+        g.refine_block((1, 0, 0))
+        # re-apply IC so children hold the analytic field, then fill guards
+        g.initialize(lambda x, y: {"dens": x.copy(), "velx": np.zeros_like(x), "vely": np.zeros_like(x)})
+        ng, nxb, nyb = g.ng, g.nxb, g.nyb
+        # the fine leaves live alongside ... wait, refining the only root block
+        # leaves no coarse neighbour; build a 2-root grid instead
+        g = make_grid(n_root_x=2, max_level=2)
+        g.initialize(lambda x, y: {"dens": x.copy(), "velx": np.zeros_like(x), "vely": np.zeros_like(x)})
+        g.refine_block((1, 0, 0))
+        g.initialize(lambda x, y: {"dens": x.copy(), "velx": np.zeros_like(x), "vely": np.zeros_like(x)})
+        fine = g.leaves[(2, 1, 0)]  # fine block touching the coarse right root
+        coarse = g.leaves[(1, 1, 0)]
+        # fine block's +x guards prolonged from the coarse block: values must
+        # lie within the coarse block's x-range near the interface
+        strip = fine.data["dens"][ng + nxb:, ng:ng + nyb]
+        assert np.all(strip >= 0.5 - 1e-12)
+        assert np.all(strip <= 0.5 + 3 * coarse.dx)
+        # coarse block's -x guards restricted from the two fine neighbours
+        cstrip = coarse.data["dens"][0:ng, ng:ng + nyb]
+        assert np.all(cstrip <= 0.5 + 1e-12)
+        assert np.all(cstrip >= 0.5 - 3 * coarse.dx)
+
+
+class TestCoveringGrid:
+    def test_uniform_data_shape_and_values(self):
+        g = make_grid(max_level=2)
+        g.initialize(gaussian_ic)
+        data = g.uniform_data("dens", level=1)
+        assert data.shape == (8, 8)
+        g.refine_block((1, 0, 0))
+        data2 = g.uniform_data("dens")
+        assert data2.shape == (16, 16)
+
+    def test_uniform_data_errors_on_too_coarse_level(self):
+        g = make_grid(max_level=2)
+        g.initialize(gaussian_ic)
+        g.refine_block((1, 0, 0))
+        with pytest.raises(ValueError):
+            g.uniform_data("dens", level=1)
+
+    def test_uniform_coordinates(self):
+        g = make_grid()
+        x, y = g.uniform_coordinates(level=1)
+        assert len(x) == 8 and len(y) == 8
+        assert x[0] == pytest.approx(0.5 / 8)
+
+    def test_level_map(self):
+        g = make_grid(n_root_x=2, max_level=2)
+        g.initialize(gaussian_ic)
+        g.refine_block((1, 0, 0))
+        lm = g.level_map()
+        assert lm.shape == (32, 16)
+        assert set(int(v) for v in np.unique(lm)) == {1, 2}
+
+    def test_covering_grid_conserves_mean(self):
+        g = make_grid(max_level=2)
+        g.initialize(gaussian_ic)
+        g.initialize_with_refinement(gaussian_ic, ["dens"], refine_cutoff=0.3)
+        mean_from_blocks = g.total_integral("dens")
+        data = g.uniform_data("dens")
+        x, y = g.uniform_coordinates()
+        cell_area = (x[1] - x[0]) * (y[1] - y[0])
+        assert float(np.sum(data) * cell_area) == pytest.approx(mean_from_blocks, rel=1e-12)

@@ -1,0 +1,139 @@
+"""Tests for refinement estimators and inter-level transfer operators."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.amr import Block, block_error, gradient_error, lohner_error, prolong, restrict
+
+
+class TestLohnerError:
+    def test_zero_for_constant_field(self):
+        assert np.all(lohner_error(np.full((10, 10), 3.0)) == 0.0)
+
+    def test_zero_for_linear_field(self):
+        x = np.linspace(0, 1, 12)
+        u = np.add.outer(2 * x, 3 * x)
+        err = lohner_error(u)
+        assert np.max(err) == pytest.approx(0.0, abs=1e-10)
+
+    def test_large_at_discontinuity(self):
+        u = np.ones((16, 16))
+        u[8:, :] = 10.0
+        err = lohner_error(u)
+        assert np.max(err) > 0.5
+        # error localised near the jump
+        assert np.max(err[1:4, :]) < 1e-12
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(0)
+        u = rng.uniform(-1, 1, (20, 20))
+        assert np.max(lohner_error(u)) <= 1.0 + 1e-12
+
+    def test_outer_ring_zero(self):
+        u = np.random.default_rng(1).uniform(size=(10, 10))
+        err = lohner_error(u)
+        assert np.all(err[0, :] == 0) and np.all(err[:, 0] == 0)
+        assert np.all(err[-1, :] == 0) and np.all(err[:, -1] == 0)
+
+    def test_tiny_arrays(self):
+        assert np.all(lohner_error(np.ones((2, 2))) == 0.0)
+
+
+class TestGradientError:
+    def test_zero_for_constant(self):
+        assert np.all(gradient_error(np.full((8, 8), 5.0)) == 0.0)
+
+    def test_positive_at_jump(self):
+        u = np.ones((8, 8))
+        u[4:, :] = 2.0
+        assert np.max(gradient_error(u)) > 0.1
+
+
+class TestBlockError:
+    def _block(self, field):
+        b = Block((1, 0, 0), 8, 8, 2, 0, 1, 0, 1)
+        b.allocate(["dens"])
+        b.data["dens"][...] = field
+        return b
+
+    def test_smooth_block_low_error(self):
+        b = self._block(np.ones((12, 12)))
+        assert block_error(b, ["dens"]) == 0.0
+
+    def test_shock_block_high_error(self):
+        field = np.ones((12, 12))
+        field[6:, :] = 8.0
+        b = self._block(field)
+        assert block_error(b, ["dens"]) > 0.5
+
+    def test_max_over_variables(self):
+        b = Block((1, 0, 0), 8, 8, 2, 0, 1, 0, 1)
+        b.allocate(["a", "b"])
+        b.data["a"][...] = 1.0
+        jump = np.ones((12, 12))
+        jump[6:, :] = 5.0
+        b.data["b"][...] = jump
+        assert block_error(b, ["a"]) == 0.0
+        assert block_error(b, ["a", "b"]) > 0.3
+
+
+class TestProlongRestrict:
+    def test_prolong_shape_and_values(self):
+        c = np.array([[1.0, 2.0], [3.0, 4.0]])
+        f = prolong(c)
+        assert f.shape == (4, 4)
+        assert np.all(f[0:2, 0:2] == 1.0)
+        assert np.all(f[2:4, 2:4] == 4.0)
+
+    def test_restrict_shape_and_values(self):
+        f = np.arange(16, dtype=float).reshape(4, 4)
+        c = restrict(f)
+        assert c.shape == (2, 2)
+        assert c[0, 0] == pytest.approx(np.mean(f[0:2, 0:2]))
+
+    def test_restrict_requires_divisible_shape(self):
+        with pytest.raises(ValueError):
+            restrict(np.zeros((3, 4)))
+
+    def test_prolong_factor_4(self):
+        f = prolong(np.ones((2, 3)), factor=4)
+        assert f.shape == (8, 12)
+
+    @given(
+        arr=hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(1, 6).map(lambda n: 2 * n), st.integers(1, 6).map(lambda n: 2 * n)),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_restrict_of_prolong_is_identity(self, arr):
+        assert np.allclose(restrict(prolong(arr)), arr)
+
+    @given(
+        arr=hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(1, 6).map(lambda n: 2 * n), st.integers(1, 6).map(lambda n: 2 * n)),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_transfers_conserve_mean(self, arr):
+        """Prolongation and restriction both preserve the mean (conservation)."""
+        assert np.mean(prolong(arr)) == pytest.approx(np.mean(arr), rel=1e-12, abs=1e-9)
+        assert np.mean(restrict(arr)) == pytest.approx(np.mean(arr), rel=1e-12, abs=1e-9)
+
+    @given(
+        arr=hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.just(4), st.just(4)),
+            elements=st.floats(-100, 100),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_prolong_does_not_create_extrema(self, arr):
+        f = prolong(arr)
+        assert f.max() <= arr.max() + 1e-12
+        assert f.min() >= arr.min() - 1e-12

@@ -1,0 +1,74 @@
+"""Tests for the carbon-burning network."""
+import numpy as np
+import pytest
+
+from repro.burn import CarbonBurnNetwork
+from repro.core import FPFormat, RaptorRuntime, TruncatedContext
+
+
+@pytest.fixture()
+def network():
+    return CarbonBurnNetwork()
+
+
+class TestRate:
+    def test_zero_below_ignition(self, network):
+        r = network.rate(np.array([1e8, 5e8]))  # T9 = 0.1, 0.5 < 0.6
+        assert np.all(r == 0.0)
+
+    def test_positive_above_ignition(self, network):
+        r = network.rate(np.array([1e9, 3e9]))
+        assert np.all(r > 0.0)
+
+    def test_extreme_temperature_sensitivity(self, network):
+        r1 = float(network.rate(np.array([1.5e9]))[0])
+        r2 = float(network.rate(np.array([3.0e9]))[0])
+        assert r2 / r1 > 10.0
+
+    def test_burning_timescale(self, network):
+        assert network.burning_timescale(1e8) == np.inf
+        t_hot = network.burning_timescale(3e9)
+        t_cool = network.burning_timescale(1.5e9)
+        assert t_hot < t_cool < np.inf
+
+
+class TestBurn:
+    def test_cold_fuel_unburned(self, network):
+        x, de = network.burn(np.array([1.0, 1.0]), np.array([1e8, 2e8]), dt=1.0)
+        assert np.allclose(x, 1.0)
+        assert np.allclose(de, 0.0)
+
+    def test_hot_fuel_burns_and_releases_energy(self, network):
+        x0 = np.array([1.0])
+        t_burn = network.burning_timescale(3e9)
+        x, de = network.burn(x0, np.array([3e9]), dt=5 * t_burn)
+        assert float(x[0]) < 0.05
+        assert float(de[0]) == pytest.approx(network.q_value * (1.0 - float(x[0])), rel=1e-12)
+
+    def test_mass_fraction_bounded(self, network):
+        x, _ = network.burn(np.array([1.0]), np.array([1e10]), dt=1e3)
+        assert 0.0 <= float(x[0]) <= 1.0
+
+    def test_energy_release_nonnegative_and_bounded(self, network):
+        rng = np.random.default_rng(0)
+        x0 = rng.uniform(0, 1, 16)
+        temps = 10.0 ** rng.uniform(8.5, 9.7, 16)
+        x, de = network.burn(x0, temps, dt=1e-3)
+        assert np.all(de >= -1e-10)
+        assert np.all(de <= network.q_value * x0 + 1e-6)
+        assert np.all(x <= x0 + 1e-12)
+
+    def test_substep_invariance_for_frozen_temperature(self, network):
+        """With the rate frozen (constant T), the exponential update is exact,
+        so substepping must not change the result."""
+        x1, _ = network.burn(np.array([1.0]), np.array([2.5e9]), dt=1e-4, substeps=1)
+        x8, _ = network.burn(np.array([1.0]), np.array([2.5e9]), dt=1e-4, substeps=8)
+        assert float(x1[0]) == pytest.approx(float(x8[0]), rel=1e-10)
+
+    def test_truncated_burn_counts_ops_and_stays_physical(self, network):
+        rt = RaptorRuntime()
+        ctx = TruncatedContext(FPFormat(8, 10), runtime=rt, module="burn")
+        x, de = network.burn(np.full(8, 1.0), np.full(8, 2.5e9), dt=1e-3, ctx=ctx)
+        assert rt.module_ops()["burn"].truncated > 0
+        assert np.all((x >= 0) & (x <= 1.0))
+        assert np.all(de >= 0)

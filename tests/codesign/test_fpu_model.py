@@ -1,0 +1,83 @@
+"""Tests for the FPU performance-density model (Table 4)."""
+import pytest
+
+from repro.codesign import (
+    FPNEW_TABLE,
+    HybridFPUConfig,
+    area_ratio,
+    normalized_performance_density,
+    performance_density,
+    table4_rows,
+)
+from repro.core import FP16, FP32, FP64, FP8_E5M2, FPFormat
+
+
+class TestTable4Data:
+    def test_raw_densities(self):
+        assert FPNEW_TABLE["fp64"].density == pytest.approx(3.17 / 53)
+        assert FPNEW_TABLE["fp8"].density == pytest.approx(25.33 / 23)
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("fp64", 1.00), ("fp32", 2.65), ("fp16", 7.30), ("fp8", 18.41)],
+    )
+    def test_normalized_density_matches_paper(self, name, expected):
+        fmt = FPNEW_TABLE[name].fmt
+        assert normalized_performance_density(fmt) == pytest.approx(expected, rel=0.01)
+
+    def test_table4_rows_structure(self):
+        rows = table4_rows()
+        assert len(rows) == 4
+        by_type = {r["type"]: r for r in rows}
+        assert by_type["fp64"]["perf_density_normalized"] == 1.0
+        assert by_type["fp16"]["perf_density_normalized"] == pytest.approx(7.30, rel=0.01)
+        assert by_type["fp32"]["gflops"] == 6.33
+
+
+class TestExtrapolation:
+    def test_known_points_reproduced_exactly(self):
+        for spec in FPNEW_TABLE.values():
+            assert performance_density(spec.fmt) == pytest.approx(spec.density)
+
+    def test_density_monotonically_decreases_with_width(self):
+        widths = [FPFormat(5, m) for m in (2, 6, 10, 20, 30, 40, 52)]
+        densities = [performance_density(f) for f in widths]
+        assert all(densities[i] >= densities[i + 1] for i in range(len(densities) - 1))
+
+    def test_intermediate_format_between_neighbours(self):
+        # a 24-bit format should fall between fp16 and fp32 densities
+        d = performance_density(FPFormat(8, 15))
+        assert performance_density(FP32) < d < performance_density(FP16)
+
+
+class TestAreaRatio:
+    def test_matches_paper_value(self):
+        # paper: A_dbl : A_low = 1.39 for the FP64:FP32 = 1:2 reference machine
+        assert area_ratio() == pytest.approx(1.39, rel=0.08)
+
+    def test_equal_compute_means_larger_double_area(self):
+        assert area_ratio(compute_ratio_low_to_dbl=1.0) > area_ratio(compute_ratio_low_to_dbl=2.0)
+
+
+class TestHybridFPUConfig:
+    def test_reference_configuration_compute_ratio(self):
+        cfg = HybridFPUConfig.from_reference(FP32)
+        assert cfg.peak_low / cfg.peak_dbl == pytest.approx(2.0, rel=1e-6)
+
+    def test_retargeting_keeps_areas(self):
+        ref = HybridFPUConfig.from_reference(FP32)
+        half = HybridFPUConfig.from_reference(FP16)
+        assert ref.area_dbl == pytest.approx(half.area_dbl)
+        assert ref.area_low == pytest.approx(half.area_low)
+        assert half.peak_low > ref.peak_low
+
+    def test_time_model_additive(self):
+        cfg = HybridFPUConfig.from_reference(FP16)
+        t_dbl_only = cfg.time_for(100.0, 0.0)
+        t_low_only = cfg.time_for(0.0, 100.0)
+        assert cfg.time_for(100.0, 100.0) == pytest.approx(t_dbl_only + t_low_only)
+        assert t_low_only < t_dbl_only
+
+    def test_time_zero_ops(self):
+        cfg = HybridFPUConfig.from_reference(FP8_E5M2)
+        assert cfg.time_for(0.0, 0.0) == 0.0

@@ -1,0 +1,126 @@
+"""Tests for the roofline model and the Figure 8 speedup estimates."""
+import pytest
+
+from repro.codesign import (
+    FUGAKU_BANDWIDTH_GBS,
+    RooflineModel,
+    estimate_speedup,
+    speedup_compute_bound,
+    speedup_memory_bound,
+)
+from repro.core import FP16, FP32, FP64, FPFormat, RaptorRuntime
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        m = RooflineModel(peak_gflops=512.0, bandwidth_gbs=1024.0)
+        assert m.ridge_point == 0.5
+
+    def test_classification(self):
+        m = RooflineModel(peak_gflops=512.0, bandwidth_gbs=1024.0)
+        assert m.classify(flops=1000.0, bytes_moved=10.0) == "compute"
+        assert m.classify(flops=10.0, bytes_moved=1000.0) == "memory"
+
+    def test_attainable_capped_by_peak(self):
+        m = RooflineModel(peak_gflops=100.0, bandwidth_gbs=1000.0)
+        assert m.attainable_gflops(1000.0) == 100.0
+        assert m.attainable_gflops(0.01) == 10.0
+
+    def test_zero_bytes_is_compute_bound(self):
+        m = RooflineModel(peak_gflops=100.0)
+        assert m.is_compute_bound(10.0, 0.0)
+
+    def test_default_bandwidth_is_fugaku(self):
+        assert RooflineModel(1.0).bandwidth_gbs == FUGAKU_BANDWIDTH_GBS == 1024.0
+
+
+class TestComputeBoundSpeedup:
+    def test_no_truncation_means_no_speedup(self):
+        assert speedup_compute_bound(0, 1e9, FP16) == pytest.approx(1.0)
+
+    def test_zero_ops(self):
+        assert speedup_compute_bound(0, 0, FP16) == 1.0
+
+    def test_full_truncation_to_fp16_in_paper_range(self):
+        """Paper: ~3.7x for half precision at ~85% truncated operations."""
+        s = speedup_compute_bound(0.85e9, 0.15e9, FP16)
+        assert 2.5 < s < 5.0
+
+    def test_full_truncation_to_fp32_in_paper_range(self):
+        """Paper: ~2.2x for single precision."""
+        s = speedup_compute_bound(0.85e9, 0.15e9, FP32)
+        assert 1.7 < s < 2.8
+
+    def test_speedup_decreases_with_mantissa_width(self):
+        speedups = [
+            speedup_compute_bound(0.8e9, 0.2e9, FPFormat(11, m)) for m in (4, 10, 23, 40, 52)
+        ]
+        assert all(speedups[i] >= speedups[i + 1] for i in range(len(speedups) - 1))
+
+    def test_speedup_increases_with_truncated_fraction(self):
+        total = 1e9
+        fractions = [0.1, 0.3, 0.6, 0.9]
+        speedups = [
+            speedup_compute_bound(f * total, (1 - f) * total, FP16) for f in fractions
+        ]
+        assert all(speedups[i] < speedups[i + 1] for i in range(len(speedups) - 1))
+
+    def test_fp64_target_cannot_speed_up_much(self):
+        assert speedup_compute_bound(0.9e9, 0.1e9, FP64) == pytest.approx(1.0, abs=0.5)
+
+
+class TestMemoryBoundSpeedup:
+    def test_no_truncated_bytes(self):
+        assert speedup_memory_bound(0, 1000, FP16) == 1.0
+
+    def test_all_bytes_truncated_to_fp16(self):
+        # 16/64 of the traffic remains -> 4x
+        assert speedup_memory_bound(1000, 0, FP16) == pytest.approx(4.0)
+
+    def test_all_bytes_truncated_to_fp32(self):
+        assert speedup_memory_bound(1000, 0, FP32) == pytest.approx(2.0)
+
+    def test_paper_value_for_sod_fp32(self):
+        """Paper: 1.6x memory-bound for single precision at high truncation."""
+        s = speedup_memory_bound(850, 150, FP32)
+        assert 1.4 < s < 1.9
+
+    def test_zero_traffic(self):
+        assert speedup_memory_bound(0, 0, FP16) == 1.0
+
+
+class TestEstimateSpeedup:
+    def _runtime(self, trunc_ops, full_ops, trunc_bytes, full_bytes):
+        rt = RaptorRuntime()
+        rt.record_truncated_ops(trunc_ops)
+        rt.record_full_ops(full_ops)
+        rt.record_truncated_bytes(trunc_bytes)
+        rt.record_full_bytes(full_bytes)
+        return rt
+
+    def test_compute_heavy_workload_classified_compute(self):
+        rt = self._runtime(10_000_000, 1_000_000, 1_000, 100)
+        est = estimate_speedup(rt, FP16)
+        assert est.bound == "compute"
+        assert est.predicted == est.compute_bound
+        assert est.compute_bound > 1.0
+
+    def test_memory_heavy_workload_classified_memory(self):
+        rt = self._runtime(1_000, 100, 10_000_000, 1_000_000)
+        est = estimate_speedup(rt, FP16)
+        assert est.bound == "memory"
+        assert est.predicted == est.memory_bound
+
+    def test_estimate_fields_copied_from_runtime(self):
+        rt = self._runtime(100, 50, 800, 400)
+        est = estimate_speedup(rt, FP16)
+        assert est.truncated_ops == 100
+        assert est.full_ops == 50
+        assert est.truncated_bytes == 800
+        assert est.full_bytes == 400
+        assert est.target_fmt == FP16
+
+    def test_empty_runtime(self):
+        est = estimate_speedup(RaptorRuntime(), FP16)
+        assert est.compute_bound == 1.0
+        assert est.memory_bound == 1.0

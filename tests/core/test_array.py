@@ -1,0 +1,127 @@
+"""Tests for the transparent numpy-hook instrumentation (TruncatedArray)."""
+import numpy as np
+import pytest
+
+from repro.core import (
+    FP16,
+    FP32,
+    FPFormat,
+    RaptorRuntime,
+    TruncatedArray,
+    quantize,
+    truncate_array,
+    untruncate,
+)
+
+
+@pytest.fixture()
+def runtime():
+    return RaptorRuntime("array-test")
+
+
+class TestConstruction:
+    def test_payload_quantized_on_wrap(self, runtime):
+        x = np.array([0.1, 0.2, 0.3])
+        t = truncate_array(x, FP16, runtime=runtime)
+        assert isinstance(t, TruncatedArray)
+        assert np.array_equal(np.asarray(t), quantize(x, FP16))
+        assert t.fmt == FP16
+
+    def test_untruncate_returns_plain_copy(self, runtime):
+        t = truncate_array(np.ones(3), FP16, runtime=runtime)
+        p = untruncate(t)
+        assert type(p) is np.ndarray
+        assert not isinstance(p, TruncatedArray)
+
+    def test_untruncate_passthrough_for_plain(self):
+        x = np.ones(3)
+        assert np.array_equal(untruncate(x), x)
+
+
+class TestUfuncInterception:
+    def test_binary_op_rounds_result(self, runtime):
+        a = truncate_array(np.full(4, 1.2), FP16, runtime=runtime)
+        b = truncate_array(np.full(4, 3.4e-3), FP16, runtime=runtime)
+        c = a + b
+        assert isinstance(c, TruncatedArray)
+        expected = quantize(np.asarray(a) + np.asarray(b), FP16)
+        assert np.array_equal(np.asarray(c), expected)
+
+    def test_mixed_with_plain_ndarray(self, runtime):
+        a = truncate_array(np.full(4, 0.1), FP16, runtime=runtime)
+        c = a * np.full(4, 0.2)
+        assert isinstance(c, TruncatedArray)
+        assert np.array_equal(np.asarray(c), quantize(np.asarray(a) * 0.2, FP16))
+
+    def test_scalar_operand(self, runtime):
+        a = truncate_array(np.ones(4), FP16, runtime=runtime)
+        c = 2.0 * a + 1.0
+        assert isinstance(c, TruncatedArray)
+        assert np.all(np.asarray(c) == 3.0)
+
+    def test_numpy_functions_are_hooked(self, runtime):
+        a = truncate_array(np.array([2.0, 4.0]), FP16, runtime=runtime)
+        s = np.sqrt(a)
+        assert isinstance(s, TruncatedArray)
+        assert np.array_equal(np.asarray(s), quantize(np.sqrt(np.asarray(a)), FP16))
+
+    def test_comparisons_pass_through(self, runtime):
+        a = truncate_array(np.array([1.0, 2.0]), FP16, runtime=runtime)
+        mask = a > 1.5
+        assert mask.dtype == bool
+        assert list(np.asarray(mask)) == [False, True]
+
+    def test_reduction(self, runtime):
+        a = truncate_array(np.full(8, 0.1), FP16, runtime=runtime)
+        total = a.sum()
+        expected = quantize(np.sum(np.asarray(a)), FP16)
+        assert float(total) == float(expected)
+
+    def test_ops_counted(self, runtime):
+        a = truncate_array(np.ones(10), FP16, runtime=runtime, module="kernel")
+        _ = a + a
+        assert runtime.ops.truncated == 10
+        assert runtime.module_ops()["kernel"].truncated == 10
+        assert runtime.mem.truncated > 0
+
+    def test_views_keep_instrumentation(self, runtime):
+        a = truncate_array(np.arange(10, dtype=float), FP16, runtime=runtime)
+        b = a[2:5]
+        assert isinstance(b, TruncatedArray)
+        assert b.fmt == FP16
+        c = b * 0.1
+        assert isinstance(c, TruncatedArray)
+
+    def test_chain_keeps_values_representable(self, runtime):
+        fmt = FPFormat(8, 6)
+        a = truncate_array(np.linspace(0.01, 3.0, 50), fmt, runtime=runtime)
+        out = np.sqrt(a * a + 1.0) / (a + 0.5)
+        arr = np.asarray(out)
+        assert np.array_equal(arr, quantize(arr, fmt))
+
+    def test_plain_numpy_unaffected(self, runtime):
+        # operations with no TruncatedArray operand are untouched
+        x = np.full(4, 0.1)
+        y = x + x
+        assert not isinstance(y, TruncatedArray)
+        assert runtime.ops.total == 0
+
+
+class TestErrorBehaviour:
+    def test_truncation_changes_results_vs_fp64(self, runtime):
+        x = np.linspace(0.1, 1.0, 100)
+        exact = np.sqrt(x * 3.0 + 0.7)
+        t = truncate_array(x, FPFormat(5, 4), runtime=runtime)
+        approx = np.asarray(np.sqrt(t * 3.0 + 0.7))
+        err = np.max(np.abs(approx - exact))
+        assert 0 < err < 0.1
+
+    def test_wider_format_smaller_error(self, runtime):
+        x = np.linspace(0.1, 1.0, 100)
+        exact = x * 1.1 + x * x
+
+        def run(man):
+            t = truncate_array(x, FPFormat(8, man), runtime=runtime)
+            return np.max(np.abs(np.asarray(t * 1.1 + t * t) - exact))
+
+        assert run(20) < run(8) < run(3)

@@ -1,0 +1,62 @@
+"""Tests for TruncationConfig (scope/mode/format configuration)."""
+import pytest
+
+from repro.core import FP64, FPFormat, Mode, Scope, TruncationConfig
+
+
+class TestConstruction:
+    def test_default_is_noop(self):
+        cfg = TruncationConfig()
+        assert cfg.is_noop()
+        assert cfg.fmt == FP64
+
+    def test_mantissa_constructor(self):
+        cfg = TruncationConfig.mantissa(14, exp_bits=5)
+        assert cfg.fmt == FPFormat(5, 14)
+        assert not cfg.is_noop()
+
+    def test_mantissa_constructor_for_fp32_operands(self):
+        cfg = TruncationConfig.mantissa(8, exp_bits=3, from_width=32)
+        assert cfg.target_for(32) == FPFormat(3, 8)
+        assert cfg.target_for(64) is None
+        # the 64-bit fallback format is FP64 when no 64-bit target is given
+        assert cfg.fmt == FP64
+
+    def test_from_spec_paper_flag(self):
+        cfg = TruncationConfig.from_spec("64_to_5_14;32_to_3_8", mode="mem", scope="function")
+        assert cfg.targets[64] == FPFormat(5, 14)
+        assert cfg.targets[32] == FPFormat(3, 8)
+        assert cfg.mode == Mode.MEM
+        assert cfg.scope == Scope.FUNCTION
+
+    def test_disabled_config_is_noop(self):
+        cfg = TruncationConfig.mantissa(10, exp_bits=5, enabled=False)
+        assert cfg.is_noop()
+
+
+class TestDescribe:
+    def test_describe_mentions_targets_and_mode(self):
+        cfg = TruncationConfig.from_spec("64_to_5_14")
+        text = cfg.describe()
+        assert "e5m14" in text
+        assert "op" in text
+        assert "program" in text
+
+    def test_enum_values(self):
+        assert Mode("op") == Mode.OP
+        assert Mode("mem") == Mode.MEM
+        assert Scope("file") == Scope.FILE
+        with pytest.raises(ValueError):
+            Mode("bogus")
+
+
+class TestDefaults:
+    def test_counting_enabled_by_default(self):
+        cfg = TruncationConfig.mantissa(10, exp_bits=5)
+        assert cfg.count_ops and cfg.track_memory
+        assert not cfg.track_errors
+        assert cfg.optimized
+
+    def test_mem_mode_threshold_default(self):
+        cfg = TruncationConfig.mantissa(10, exp_bits=5, mode=Mode.MEM)
+        assert cfg.deviation_threshold == 1e-6

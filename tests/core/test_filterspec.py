@@ -1,0 +1,107 @@
+"""Tests for configuration-file-driven truncation filters (paper §7.3 extension)."""
+import numpy as np
+import pytest
+
+from repro.core import FullPrecisionContext, Mode, RaptorRuntime, TruncatedContext
+from repro.core.filterspec import (
+    FilterSpec,
+    load_filter_file,
+    parse_filter_text,
+    policy_from_filter,
+)
+
+EXAMPLE = """
+# truncate FP64 to e5m14 in the hydro solver, but never in the EOS
+truncate 64_to_5_14
+mode op
+threshold 1e-5
+include hydro
+include incomp.advection
+exclude hydro.riemann
+"""
+
+
+class TestParsing:
+    def test_example_round_trip(self):
+        spec = parse_filter_text(EXAMPLE)
+        assert spec.config.fmt.exp_bits == 5
+        assert spec.config.fmt.man_bits == 14
+        assert spec.config.mode == Mode.OP
+        assert spec.config.deviation_threshold == 1e-5
+        assert spec.includes == ["hydro", "incomp.advection"]
+        assert spec.excludes == ["hydro.riemann"]
+
+    def test_comments_and_blank_lines_ignored(self):
+        spec = parse_filter_text("truncate 64_to_8_23\n\n# a comment\n")
+        assert spec.config.fmt.man_bits == 23
+        assert spec.includes == [] and spec.excludes == []
+
+    def test_mem_mode(self):
+        spec = parse_filter_text("truncate 64_to_5_8\nmode mem\n")
+        assert spec.config.mode == Mode.MEM
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "mode op\n",                       # missing truncate
+            "truncate 64_to_5_14 extra\n",     # too many args
+            "truncate 64_to_5_14\nmode fancy\n",
+            "truncate 64_to_5_14\nthreshold\n",
+            "truncate 64_to_5_14\nfrobnicate hydro\n",
+            "truncate 64_to_5_14\ninclude\n",
+        ],
+    )
+    def test_malformed_inputs(self, bad):
+        with pytest.raises(ValueError):
+            parse_filter_text(bad)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "raptor.filter"
+        path.write_text(EXAMPLE)
+        spec = load_filter_file(path)
+        assert spec.includes[0] == "hydro"
+
+
+class TestMatching:
+    @pytest.fixture()
+    def spec(self) -> FilterSpec:
+        return parse_filter_text(EXAMPLE)
+
+    def test_included_modules_match(self, spec):
+        assert spec.matches("hydro")
+        assert spec.matches("hydro.recon")
+        assert spec.matches("incomp.advection")
+
+    def test_excluded_submodule_wins(self, spec):
+        assert not spec.matches("hydro.riemann")
+
+    def test_unlisted_modules_do_not_match(self, spec):
+        assert not spec.matches("eos")
+        assert not spec.matches(None)
+
+    def test_no_includes_means_everything(self):
+        spec = parse_filter_text("truncate 64_to_5_10\nexclude eos\n")
+        assert spec.matches("hydro")
+        assert spec.matches(None)
+        assert not spec.matches("eos")
+
+
+class TestPolicyIntegration:
+    def test_policy_contexts_follow_filter(self):
+        spec = parse_filter_text(EXAMPLE)
+        rt = RaptorRuntime()
+        policy = policy_from_filter(spec, runtime=rt)
+        assert isinstance(policy.context_for(module="hydro"), TruncatedContext)
+        assert isinstance(policy.context_for(module="hydro.riemann"), FullPrecisionContext)
+        assert isinstance(policy.context_for(module="eos"), FullPrecisionContext)
+
+    def test_policy_truncates_only_matching_modules(self):
+        spec = parse_filter_text("truncate 64_to_8_6\ninclude kernel\n")
+        rt = RaptorRuntime()
+        policy = policy_from_filter(spec, runtime=rt)
+        x = np.full(16, 0.1)
+        policy.context_for(module="kernel").add(x, x)
+        policy.context_for(module="other").add(x, x)
+        mods = rt.module_ops()
+        assert mods["kernel"].truncated == 16
+        assert mods["other"].full == 16

@@ -1,0 +1,76 @@
+"""Tests for repro.core.fpformat."""
+import pytest
+
+from repro.core import FP16, FP32, FP64, BF16, FP8_E5M2, FPFormat, parse_truncation_spec
+
+
+class TestFPFormat:
+    def test_fp64_constants(self):
+        assert FP64.exp_bits == 11
+        assert FP64.man_bits == 52
+        assert FP64.bias == 1023
+        assert FP64.emax == 1023
+        assert FP64.emin == -1022
+        assert FP64.precision == 53
+        assert FP64.is_fp64()
+
+    def test_fp32_constants(self):
+        assert FP32.bias == 127
+        assert FP32.emin == -126
+        assert FP32.eps == 2.0 ** -23
+        assert FP32.max_value == pytest.approx(3.4028234663852886e38)
+        assert FP32.min_normal == pytest.approx(1.1754943508222875e-38)
+        assert not FP32.is_fp64()
+
+    def test_fp16_constants(self):
+        assert FP16.max_value == 65504.0
+        assert FP16.min_normal == 2.0 ** -14
+        assert FP16.min_subnormal == 2.0 ** -24
+        assert FP16.total_bits == 16
+
+    def test_bf16_and_fp8(self):
+        assert BF16.exp_bits == 8 and BF16.man_bits == 7
+        assert FP8_E5M2.total_bits == 8
+
+    def test_spec_string(self):
+        assert FPFormat(5, 14).spec() == "5_14"
+
+    def test_invalid_exp_bits(self):
+        with pytest.raises(ValueError):
+            FPFormat(0, 10)
+        with pytest.raises(ValueError):
+            FPFormat(12, 10)
+
+    def test_invalid_man_bits(self):
+        with pytest.raises(ValueError):
+            FPFormat(5, -1)
+        with pytest.raises(ValueError):
+            FPFormat(5, 53)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            FP32.exp_bits = 9  # type: ignore[misc]
+
+
+class TestParseTruncationSpec:
+    def test_paper_example(self):
+        spec = parse_truncation_spec("64_to_5_14;32_to_3_8")
+        assert spec[64] == FPFormat(5, 14)
+        assert spec[32] == FPFormat(3, 8)
+
+    def test_single_entry(self):
+        spec = parse_truncation_spec("64_to_8_23")
+        assert list(spec) == [64]
+        assert spec[64].man_bits == 23
+
+    def test_whitespace_and_trailing_separator(self):
+        spec = parse_truncation_spec(" 64_to_5_10 ; ")
+        assert spec[64] == FPFormat(5, 10)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "64_5_10", "48_to_5_10", "64_to_5", "64_to_a_b", "sixtyfour_to_5_10"],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_truncation_spec(bad)

@@ -1,0 +1,169 @@
+"""Tests for scope instrumentation and function-scope clones."""
+import numpy as np
+import pytest
+
+from repro.core import (
+    FP16,
+    FPFormat,
+    FullPrecisionContext,
+    Mode,
+    RaptorRuntime,
+    ShadowContext,
+    TruncatedContext,
+    TruncationConfig,
+    active_config,
+    active_context,
+    file_scope,
+    program_scope,
+    quantize,
+    trunc_func,
+    trunc_func_mem,
+    trunc_func_op,
+    truncate_region,
+)
+
+
+@pytest.fixture()
+def runtime():
+    return RaptorRuntime("instr-test")
+
+
+class TestScopes:
+    def test_no_scope_gives_full_precision(self):
+        assert active_config() is None
+        ctx = active_context("hydro")
+        assert isinstance(ctx, FullPrecisionContext)
+
+    def test_truncate_region_activates_config(self, runtime):
+        cfg = TruncationConfig.mantissa(8, exp_bits=8)
+        with truncate_region(cfg, runtime=runtime):
+            assert active_config() is cfg
+            ctx = active_context("hydro")
+            assert isinstance(ctx, TruncatedContext)
+            assert ctx.fmt.man_bits == 8
+        assert active_config() is None
+
+    def test_program_scope_applies_to_all_modules(self, runtime):
+        cfg = TruncationConfig.mantissa(10, exp_bits=5)
+        with program_scope(cfg, runtime=runtime):
+            assert isinstance(active_context("hydro"), TruncatedContext)
+            assert isinstance(active_context("eos"), TruncatedContext)
+            assert isinstance(active_context(None), TruncatedContext)
+
+    def test_file_scope_restricted_to_modules(self, runtime):
+        cfg = TruncationConfig.mantissa(10, exp_bits=5)
+        with file_scope(cfg, modules=["hydro"], runtime=runtime):
+            assert isinstance(active_context("hydro"), TruncatedContext)
+            assert isinstance(active_context("eos"), FullPrecisionContext)
+
+    def test_nested_scopes_innermost_wins(self, runtime):
+        outer = TruncationConfig.mantissa(20, exp_bits=8)
+        inner = TruncationConfig.mantissa(4, exp_bits=8)
+        with truncate_region(outer, runtime=runtime):
+            with truncate_region(inner, runtime=runtime):
+                assert active_context("x").fmt.man_bits == 4
+            assert active_context("x").fmt.man_bits == 20
+
+    def test_mem_mode_scope_gives_shadow_context(self, runtime):
+        cfg = TruncationConfig.mantissa(8, exp_bits=8, mode=Mode.MEM)
+        with truncate_region(cfg, runtime=runtime):
+            assert isinstance(active_context("hydro"), ShadowContext)
+
+    def test_context_cache_per_module(self, runtime):
+        cfg = TruncationConfig.mantissa(8, exp_bits=8)
+        with truncate_region(cfg, runtime=runtime):
+            assert active_context("hydro") is active_context("hydro")
+            assert active_context("hydro") is not active_context("eos")
+
+
+class TestTruncFuncOp:
+    def test_clone_preserves_signature_and_original(self, runtime):
+        def kernel(a, b):
+            return np.sqrt(a * a + b * b)
+
+        clone = trunc_func_op(kernel, 64, 5, 10, runtime=runtime)
+        a = np.linspace(0.1, 2.0, 64)
+        b = np.linspace(1.0, 3.0, 64)
+        exact = kernel(a, b)
+        approx = clone(a, b)
+        # original unaffected
+        assert np.array_equal(kernel(a, b), exact)
+        # clone result is representable in the target format and close to exact
+        assert np.array_equal(approx, quantize(approx, FP16))
+        assert np.max(np.abs(approx - exact)) < 1e-2
+        assert type(approx) is np.ndarray
+
+    def test_clone_counts_ops(self, runtime):
+        def kernel(a):
+            return a * 2.0 + 1.0
+
+        clone = trunc_func_op(kernel, 64, 8, 23, runtime=runtime, module="kern")
+        clone(np.ones(100))
+        assert runtime.ops.truncated >= 200
+        assert runtime.module_ops()["kern"].truncated >= 200
+
+    def test_decorator_form(self, runtime):
+        @trunc_func(64, 8, 7, runtime=runtime)
+        def kernel(a):
+            return a + a
+
+        out = kernel(np.full(4, 0.1))
+        assert np.array_equal(out, quantize(out, FPFormat(8, 7)))
+
+    def test_scalar_and_non_array_args_passthrough(self, runtime):
+        def kernel(a, factor, name):
+            assert name == "ok"
+            return a * factor
+
+        clone = trunc_func_op(kernel, 64, 5, 10, runtime=runtime)
+        out = clone(np.ones(4), 2.0, name="ok")
+        assert np.all(out == 2.0)
+
+    def test_nested_structure_results_unwrapped(self, runtime):
+        def kernel(a):
+            return {"x": a * 1.0, "y": [a + 1.0, (a - 1.0,)]}
+
+        clone = trunc_func_op(kernel, 64, 5, 10, runtime=runtime)
+        out = clone(np.ones(3))
+        assert type(out["x"]) is np.ndarray
+        assert type(out["y"][0]) is np.ndarray
+        assert type(out["y"][1][0]) is np.ndarray
+
+    def test_config_attached(self, runtime):
+        clone = trunc_func_op(lambda a: a, 64, 5, 14, runtime=runtime)
+        assert clone.__raptor_config__.fmt.man_bits == 14
+
+
+class TestTruncFuncMem:
+    def test_mem_clone_tracks_deviation(self, runtime):
+        def kernel(a, b):
+            ctx = active_context("kernel")
+            return ctx.mul(ctx.add(a, b, label="kern:add"), 1.0 / 3.0, label="kern:mul")
+
+        clone = trunc_func_mem(kernel, 64, 5, 4, threshold=1e-6, runtime=runtime, module="kernel")
+        out = clone(np.full(32, 0.1), np.full(32, 0.7))
+        assert type(out) is np.ndarray
+        report = clone.context.report()
+        assert any(flagged > 0 for _, flagged, _, _ in report.entries)
+        assert runtime.ops.truncated > 0
+
+    def test_mem_clone_shadow_operators(self, runtime):
+        def kernel(a):
+            return (a * (1.0 / 3.0)) + 0.25
+
+        clone = trunc_func_mem(kernel, 64, 8, 6, runtime=runtime)
+        out = clone(np.linspace(0, 1, 16))
+        assert np.array_equal(out, quantize(out, FPFormat(8, 6)))
+
+    def test_excluded_modules_start_excluded(self, runtime):
+        def kernel(a):
+            ctx = active_context("kernel").scoped("recon")
+            return ctx.mul(a, 1.0 / 3.0)
+
+        clone = trunc_func_mem(
+            kernel, 64, 5, 2, runtime=runtime, module="kernel", excluded_modules=("recon",)
+        )
+        # 0.5 is exactly representable in e5m2, so the only rounding that could
+        # occur is inside the excluded recon module - which must not truncate.
+        out = clone(np.full(8, 0.5))
+        assert np.allclose(out, 0.5 / 3.0, rtol=1e-12)

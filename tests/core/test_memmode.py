@@ -1,0 +1,199 @@
+"""Tests for mem-mode shadow tracking."""
+import numpy as np
+import pytest
+
+from repro.core import (
+    FP16,
+    FPFormat,
+    RaptorRuntime,
+    ShadowArray,
+    ShadowContext,
+    TruncationConfig,
+    from_shadow,
+    quantize,
+    to_shadow,
+)
+
+
+@pytest.fixture()
+def runtime():
+    return RaptorRuntime("memmode-test")
+
+
+@pytest.fixture()
+def ctx(runtime):
+    return ShadowContext(FPFormat(8, 8), runtime=runtime, module="hydro", threshold=1e-3)
+
+
+class TestLiftLower:
+    def test_lift_quantizes_value_keeps_shadow(self, ctx):
+        x = np.array([0.1, 0.2, 0.3])
+        s = ctx.lift(x)
+        assert np.array_equal(s.shadow, x)
+        assert np.array_equal(s.value, quantize(x, ctx.fmt))
+
+    def test_lower_returns_truncated_payload(self, ctx):
+        x = np.array([0.1])
+        assert np.array_equal(ctx.lower(ctx.lift(x)), quantize(x, ctx.fmt))
+
+    def test_module_level_helpers(self, ctx):
+        s = to_shadow(np.array([1.0]), ctx)
+        assert isinstance(s, ShadowArray)
+        assert np.array_equal(from_shadow(s), s.value)
+        assert np.array_equal(from_shadow(np.array([2.0])), np.array([2.0]))
+
+    def test_lift_existing_shadow_is_rebound(self, ctx):
+        s = ctx.lift(np.array([1.0]))
+        s2 = ctx.lift(s)
+        assert np.array_equal(s2.value, s.value)
+
+
+class TestShadowArithmetic:
+    def test_dual_trajectories(self, ctx):
+        a = ctx.lift(np.array([0.1] * 4))
+        b = ctx.lift(np.array([0.2] * 4))
+        c = a + b
+        assert np.allclose(c.shadow, 0.3)
+        assert np.array_equal(c.value, quantize(quantize(0.1 * np.ones(4), ctx.fmt) + quantize(0.2 * np.ones(4), ctx.fmt), ctx.fmt))
+
+    def test_operators_route_through_context(self, ctx, runtime):
+        a = ctx.lift(np.ones(3))
+        _ = a + 1.0
+        _ = 1.0 - a
+        _ = a * 2.0
+        _ = a / 2.0
+        _ = -a
+        _ = abs(a)
+        _ = a ** 2
+        assert runtime.ops.truncated == 3 * 7
+
+    def test_deviation_grows_with_computation(self, ctx):
+        x = ctx.lift(np.array([1.0 / 3.0]))
+        for _ in range(20):
+            x = x * 1.0000123
+        assert float(x.deviation()[0]) > 0
+        assert float(x.relative_deviation()[0]) > 0
+
+    def test_comparisons_use_truncated_payload(self, ctx):
+        a = ctx.lift(np.array([1.0, 2.0]))
+        assert np.array_equal(a > 1.5, np.array([False, True]))
+        assert np.array_equal(a <= 1.0, np.array([True, False]))
+
+    def test_indexing_and_assignment(self, ctx):
+        a = ctx.lift(np.arange(6, dtype=float))
+        b = a[2:4]
+        assert isinstance(b, ShadowArray)
+        assert b.shape == (2,)
+        a[0] = 5.0
+        assert float(a.value[0]) == 5.0
+        a[1] = ctx.lift(np.array(7.0))
+        assert float(a.shadow[1]) == 7.0
+
+    def test_shape_mismatch_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ShadowArray(np.zeros(3), np.zeros(4), ctx)
+
+    def test_reduction(self, ctx):
+        a = ctx.lift(np.full(10, 0.1))
+        s = ctx.sum(a)
+        assert s.shadow == pytest.approx(1.0)
+
+    def test_where_stack_concatenate(self, ctx):
+        a = ctx.lift(np.ones(4))
+        b = ctx.lift(np.zeros(4))
+        w = ctx.where(np.array([True, False, True, False]), a, b)
+        assert np.array_equal(w.value, [1, 0, 1, 0])
+        st_ = ctx.stack([a, b])
+        assert st_.shape == (2, 4)
+        cat = ctx.concatenate([a, b])
+        assert cat.shape == (8,)
+
+    def test_zeros_full_like_and_asplain(self, ctx):
+        a = ctx.lift(np.ones((2, 3)))
+        assert ctx.zeros_like(a).shape == (2, 3)
+        f = ctx.full_like(a, 2.5)
+        assert np.all(f.shadow == 2.5)
+        assert ctx.asplain(a).shape == (2, 3)
+
+
+class TestFlaggingAndExclusion:
+    def test_flags_deviating_operations(self, runtime):
+        ctx = ShadowContext(FPFormat(5, 4), runtime=runtime, module="hydro", threshold=1e-4)
+        x = ctx.lift(np.array([1.0 / 3.0] * 8))
+        y = x * (1.0 / 3.0)
+        _ = y * 3.0
+        report = ctx.report()
+        assert any(flagged > 0 for _, flagged, _, _ in report.entries)
+
+    def test_no_flags_at_full_precision_operations(self, runtime):
+        ctx = ShadowContext(FPFormat(11, 52), runtime=runtime, threshold=1e-12)
+        x = ctx.lift(np.array([1.0 / 3.0] * 8))
+        _ = (x * 0.77) + 0.1
+        report = ctx.report()
+        assert all(flagged == 0 for _, flagged, _, _ in report.entries)
+
+    def test_excluded_module_runs_full_precision(self, runtime):
+        ctx = ShadowContext(FPFormat(5, 2), runtime=runtime, module="recon", threshold=1e-9)
+        ctx.exclude("recon")
+        a = ctx.lift(np.array([0.123456789]))
+        out = a * 1.0
+        # value trajectory not truncated because module is excluded
+        assert float(out.value[0]) == pytest.approx(float(out.shadow[0]))
+        assert runtime.ops.full >= 1
+        ctx.include("recon")
+        out2 = a * 1.0
+        assert float(out2.value[0]) != pytest.approx(float(out2.shadow[0]), abs=0.0)
+
+    def test_scoped_view_shares_flags_and_exclusions(self, runtime):
+        base = ShadowContext(FPFormat(5, 2), runtime=runtime, module="hydro", threshold=1e-9)
+        recon = base.scoped("recon")
+        base.exclude("recon")
+        assert recon.excluded_modules == base.excluded_modules
+        a = recon.lift(np.array([0.1]))
+        _ = a + 0.0
+        # flag bookkeeping is shared
+        assert base.report().entries == recon.report().entries
+
+    def test_per_module_op_attribution(self, runtime):
+        base = ShadowContext(FPFormat(5, 8), runtime=runtime, module="hydro")
+        riemann = base.scoped("riemann")
+        a = riemann.lift(np.ones(5))
+        _ = a * 2.0
+        assert runtime.module_ops()["riemann"].truncated == 5
+
+
+class TestDeviationReport:
+    def test_report_sorted_by_flag_count(self, runtime):
+        ctx = ShadowContext(FPFormat(5, 2), runtime=runtime, threshold=1e-12)
+        a = ctx.lift(np.full(16, 1.0 / 3.0))
+        _ = a * (1.0 / 7.0)  # heavily flagged
+        b = ctx.lift(np.ones(2))
+        _ = b + 0.0  # exact, not flagged
+        rep = ctx.report()
+        flags = [flagged for _, flagged, _, _ in rep.entries]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_report_text_and_labels(self, runtime):
+        ctx = ShadowContext(FPFormat(5, 2), runtime=runtime, threshold=1e-12)
+        a = ctx.lift(np.full(4, 1.0 / 3.0))
+        ctx.mul(a, 1.0 / 7.0, label="recon:slope")
+        rep = ctx.report()
+        assert "recon:slope" in rep.to_text()
+        assert "recon:slope" in rep.flagged_labels()
+        assert len(rep.top(1)) == 1
+
+    def test_reset_flags(self, runtime):
+        ctx = ShadowContext(FPFormat(5, 2), runtime=runtime, threshold=1e-12)
+        a = ctx.lift(np.full(4, 1.0 / 3.0))
+        _ = a * 0.11
+        ctx.reset_flags()
+        assert ctx.report().entries == []
+
+
+class TestFromConfig:
+    def test_from_config(self, runtime):
+        cfg = TruncationConfig.mantissa(8, exp_bits=8, mode="mem", deviation_threshold=1e-5)
+        ctx = ShadowContext.from_config(cfg, runtime=runtime, module="spark")
+        assert ctx.fmt.man_bits == 8
+        assert ctx.threshold == 1e-5
+        assert ctx.module == "spark"

@@ -1,0 +1,212 @@
+"""Tests for the quantiser, including hypothesis property tests."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FP16,
+    FP32,
+    FP64,
+    FPFormat,
+    RoundingMode,
+    is_representable,
+    quantization_error,
+    quantize,
+    ulp,
+)
+
+SMALL_FORMATS = [FPFormat(5, m) for m in (2, 4, 8, 10)] + [FPFormat(8, 7), FPFormat(8, 23)]
+
+
+class TestAgainstNumpyCasts:
+    """Quantisation to fp16/fp32 must agree exactly with IEEE casts."""
+
+    def _samples(self):
+        rng = np.random.default_rng(1234)
+        x = rng.normal(size=5000) * np.logspace(-12, 12, 5000)
+        return np.concatenate([x, -x, [0.0, 1.0, -1.0, 0.1, 1e30, 1e-30]])
+
+    def test_fp32_matches_cast(self):
+        x = self._samples()
+        assert np.array_equal(quantize(x, FP32), x.astype(np.float32).astype(np.float64))
+
+    def test_fp16_matches_cast(self):
+        x = self._samples()
+        with np.errstate(over="ignore"):
+            ref = x.astype(np.float16).astype(np.float64)
+        assert np.array_equal(quantize(x, FP16), ref)
+
+
+class TestSpecialValues:
+    def test_zero_preserved(self):
+        assert float(quantize(0.0, FP16)) == 0.0
+        q = quantize(-0.0, FP16)
+        assert float(q) == 0.0 and np.signbit(q)
+
+    def test_nan_propagates(self):
+        assert np.isnan(quantize(np.nan, FP16))
+
+    def test_inf_preserved(self):
+        assert float(quantize(np.inf, FP16)) == np.inf
+        assert float(quantize(-np.inf, FP16)) == -np.inf
+
+    def test_overflow_to_inf(self):
+        assert float(quantize(1e10, FP16)) == np.inf
+        assert float(quantize(-1e10, FP16)) == -np.inf
+
+    def test_max_value_is_finite(self):
+        assert float(quantize(FP16.max_value, FP16)) == FP16.max_value
+
+    def test_underflow_to_zero(self):
+        # below half of the smallest subnormal
+        assert float(quantize(FP16.min_subnormal * 0.49, FP16)) == 0.0
+
+    def test_subnormal_preserved(self):
+        assert float(quantize(FP16.min_subnormal, FP16)) == FP16.min_subnormal
+
+    def test_fp64_identity(self):
+        x = np.array([1.1, -2.7, 3e300, 5e-312, np.inf, np.nan])
+        q = quantize(x, FP64)
+        assert np.array_equal(q[:-1], x[:-1]) and np.isnan(q[-1])
+
+
+class TestRoundingModes:
+    def test_tie_to_even_down(self):
+        fmt = FPFormat(8, 4)
+        # 1 + 2^-5 is exactly halfway between 1.0 and 1 + 2^-4: round to even (1.0)
+        assert float(quantize(1.0 + 2.0 ** -5, fmt)) == 1.0
+
+    def test_tie_to_even_up(self):
+        fmt = FPFormat(8, 4)
+        # 1 + 3*2^-5 is halfway between 1+2^-4 and 1+2^-3: round to even (1.125)
+        assert float(quantize(1.0 + 3 * 2.0 ** -5, fmt)) == 1.125
+
+    def test_toward_zero(self):
+        fmt = FPFormat(8, 4)
+        x = 1.0 + 2.0 ** -5 + 2.0 ** -9
+        assert float(quantize(x, fmt, RoundingMode.TOWARD_ZERO)) == 1.0
+        assert float(quantize(-x, fmt, RoundingMode.TOWARD_ZERO)) == -1.0
+
+    def test_up_down(self):
+        fmt = FPFormat(8, 4)
+        x = 1.0 + 2.0 ** -6
+        assert float(quantize(x, fmt, RoundingMode.UP)) == 1.0625
+        assert float(quantize(x, fmt, RoundingMode.DOWN)) == 1.0
+        assert float(quantize(-x, fmt, RoundingMode.UP)) == -1.0
+        assert float(quantize(-x, fmt, RoundingMode.DOWN)) == -1.0625
+
+    def test_toward_zero_clamps_overflow(self):
+        assert float(quantize(1e10, FP16, RoundingMode.TOWARD_ZERO)) == FP16.max_value
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            quantize(1.0, FP16, "bogus")
+
+
+class TestShapes:
+    def test_scalar_returns_zero_d(self):
+        q = quantize(3.14159, FP16)
+        assert q.shape == ()
+
+    def test_preserves_shape(self):
+        x = np.ones((3, 4, 5)) * 0.1
+        assert quantize(x, FP16).shape == (3, 4, 5)
+
+    def test_does_not_mutate_input(self):
+        x = np.array([0.1, 0.2, 0.3])
+        x0 = x.copy()
+        quantize(x, FP16)
+        assert np.array_equal(x, x0)
+
+
+class TestHelpers:
+    def test_is_representable(self):
+        assert bool(is_representable(1.0, FP16))
+        assert bool(is_representable(0.5, FP16))
+        assert not bool(is_representable(0.1, FP16))
+        assert bool(is_representable(np.nan, FP16))
+
+    def test_ulp_at_one(self):
+        assert float(ulp(1.0, FP32)) == 2.0 ** -23
+        assert float(ulp(1.0, FP16)) == 2.0 ** -10
+
+    def test_ulp_subnormal_and_zero(self):
+        assert float(ulp(0.0, FP16)) == FP16.min_subnormal
+        assert float(ulp(FP16.min_subnormal, FP16)) == FP16.min_subnormal
+
+    def test_quantization_error_bounded_by_half_ulp(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(1.0, 2.0, size=1000)
+        err = quantization_error(x, FP16)
+        assert np.all(err <= 0.5 * ulp(x, FP16) + 1e-300)
+
+    def test_quantization_error_inf_on_overflow(self):
+        assert float(quantization_error(1e30, FP16)) == np.inf
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e200, max_value=1e200
+)
+formats = st.sampled_from(SMALL_FORMATS)
+
+
+@given(x=finite_doubles, fmt=formats)
+@settings(max_examples=300, deadline=None)
+def test_idempotent(x, fmt):
+    """Quantising twice equals quantising once."""
+    q1 = quantize(x, fmt)
+    q2 = quantize(q1, fmt)
+    assert np.array_equal(q1, q2, equal_nan=True)
+
+
+@given(x=finite_doubles, fmt=formats)
+@settings(max_examples=300, deadline=None)
+def test_error_within_half_ulp_or_overflow(x, fmt):
+    q = float(quantize(x, fmt))
+    if np.isinf(q):
+        assert abs(x) > fmt.max_value
+    else:
+        assert abs(q - x) <= 0.5 * float(ulp(x, fmt)) * (1 + 1e-12)
+
+
+@given(
+    a=finite_doubles,
+    b=finite_doubles,
+    fmt=formats,
+)
+@settings(max_examples=300, deadline=None)
+def test_monotonic(a, b, fmt):
+    """Quantisation preserves ordering (is monotone non-decreasing)."""
+    lo, hi = (a, b) if a <= b else (b, a)
+    qlo, qhi = float(quantize(lo, fmt)), float(quantize(hi, fmt))
+    assert qlo <= qhi
+
+
+@given(x=finite_doubles, fmt=formats)
+@settings(max_examples=300, deadline=None)
+def test_sign_symmetry(x, fmt):
+    """quantize(-x) == -quantize(x) for round-to-nearest-even."""
+    assert float(quantize(-x, fmt)) == -float(quantize(x, fmt))
+
+
+@given(x=finite_doubles, fmt=formats)
+@settings(max_examples=200, deadline=None)
+def test_representable_fixed_point(x, fmt):
+    q = float(quantize(x, fmt))
+    if np.isfinite(q):
+        assert bool(is_representable(q, fmt))
+
+
+@given(x=finite_doubles)
+@settings(max_examples=200, deadline=None)
+def test_wider_format_is_more_accurate(x):
+    narrow = FPFormat(8, 7)
+    wide = FPFormat(8, 23)
+    err_narrow = abs(float(quantize(x, narrow)) - x)
+    err_wide = abs(float(quantize(x, wide)) - x)
+    if np.isfinite(err_narrow) and np.isfinite(err_wide):
+        assert err_wide <= err_narrow

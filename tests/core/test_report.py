@@ -1,0 +1,73 @@
+"""Tests for profile reports."""
+import numpy as np
+
+from repro.core import (
+    FPFormat,
+    RaptorRuntime,
+    SourceLocation,
+    TruncatedContext,
+    feature_matrix,
+    format_table,
+    op_summary,
+    profile_report,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_ragged_rows_tolerated(self):
+        text = format_table(["a", "b", "c"], [[1], [1, 2, 3]])
+        assert "1" in text
+
+
+class TestOpSummary:
+    def test_summary_fields(self):
+        rt = RaptorRuntime()
+        rt.record_truncated_ops(30)
+        rt.record_full_ops(70)
+        rt.record_truncated_bytes(10)
+        rt.record_full_bytes(30)
+        s = op_summary(rt)
+        assert s["total_ops"] == 100
+        assert s["truncated_op_fraction"] == 0.3
+        assert s["truncated_byte_fraction"] == 0.25
+
+
+class TestProfileReport:
+    def test_contains_counters_modules_and_locations(self):
+        rt = RaptorRuntime("demo")
+        ctx = TruncatedContext(FPFormat(5, 8), runtime=rt, module="hydro", track_errors=True)
+        ctx.add(np.full(10, 0.1), np.full(10, 0.2), label="hydro:flux")
+        rt.record_full_ops(10, module="driver")
+        text = profile_report(rt)
+        assert "RAPTOR profile: demo" in text
+        assert "hydro" in text
+        assert "driver" in text
+        assert "hydro:flux" in text
+        assert "truncated" in text
+
+    def test_empty_runtime_report(self):
+        text = profile_report(RaptorRuntime("empty"))
+        assert "0" in text
+
+    def test_max_locations_respected(self):
+        rt = RaptorRuntime()
+        for i in range(30):
+            rt.record_truncated_ops(1, location=SourceLocation("f.py", i))
+        text = profile_report(rt, max_locations=5)
+        assert "Top 5" in text
+
+
+class TestFeatureMatrix:
+    def test_raptor_row_is_feature_complete(self):
+        matrix = feature_matrix()
+        raptor = matrix["RAPTOR"]
+        assert set(raptor["categories"]) == {"B", "C", "E"}
+        assert all(raptor["features"].values())
+        assert "Fortran" in raptor["languages"]

@@ -1,0 +1,154 @@
+"""Tests for the profiling runtime and location registry."""
+import numpy as np
+
+from repro.core import (
+    LocationRegistry,
+    RaptorRuntime,
+    SourceLocation,
+    capture_location,
+    get_runtime,
+    set_runtime,
+)
+
+
+class TestSourceLocation:
+    def test_short_format(self):
+        loc = SourceLocation("/a/b/kernel.py", 42)
+        assert loc.short() == "kernel.py:42"
+
+    def test_short_with_label(self):
+        loc = SourceLocation("/a/b/kernel.py", 42, "hydro:riemann")
+        assert "hydro:riemann" in loc.short()
+
+    def test_capture_location_points_here(self):
+        loc = capture_location(depth=1)
+        assert loc.filename.endswith("test_runtime.py")
+        assert loc.lineno > 0
+
+
+class TestLocationRegistry:
+    def test_intern_is_stable(self):
+        reg = LocationRegistry()
+        loc = SourceLocation("f.py", 1)
+        assert reg.intern(loc) == reg.intern(loc)
+        assert len(reg) == 1
+
+    def test_distinct_locations_get_distinct_ids(self):
+        reg = LocationRegistry()
+        i = reg.intern(SourceLocation("f.py", 1))
+        j = reg.intern(SourceLocation("f.py", 2))
+        assert i != j
+        assert reg.lookup(i) == SourceLocation("f.py", 1)
+
+    def test_clear(self):
+        reg = LocationRegistry()
+        reg.intern(SourceLocation("f.py", 1))
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestRuntimeCounters:
+    def test_op_counts_and_fraction(self):
+        rt = RaptorRuntime()
+        rt.record_truncated_ops(80)
+        rt.record_full_ops(20)
+        assert rt.ops.truncated == 80
+        assert rt.ops.full == 20
+        assert rt.ops.truncated_fraction == 0.8
+
+    def test_zero_counts(self):
+        rt = RaptorRuntime()
+        assert rt.ops.truncated_fraction == 0.0
+        assert rt.mem.truncated_fraction == 0.0
+
+    def test_negative_and_zero_updates_ignored(self):
+        rt = RaptorRuntime()
+        rt.record_truncated_ops(0)
+        rt.record_truncated_ops(-5)
+        rt.record_full_ops(-1)
+        rt.record_truncated_bytes(-1)
+        assert rt.ops.total == 0
+        assert rt.mem.total == 0
+
+    def test_memory_counters(self):
+        rt = RaptorRuntime()
+        rt.record_truncated_bytes(100)
+        rt.record_full_bytes(300)
+        assert rt.mem.truncated_fraction == 0.25
+
+    def test_per_module_accounting(self):
+        rt = RaptorRuntime()
+        rt.record_truncated_ops(10, module="hydro")
+        rt.record_full_ops(30, module="hydro")
+        rt.record_truncated_ops(5, module="eos")
+        mods = rt.module_ops()
+        assert mods["hydro"].truncated == 10
+        assert mods["hydro"].full == 30
+        assert mods["eos"].truncated == 5
+
+    def test_giga_flops(self):
+        rt = RaptorRuntime()
+        rt.record_truncated_ops(2_000_000_000)
+        t, f = rt.giga_flops()
+        assert t == 2.0 and f == 0.0
+
+    def test_reset(self):
+        rt = RaptorRuntime()
+        rt.record_truncated_ops(10, location=SourceLocation("f.py", 1), module="m")
+        rt.record_full_bytes(8)
+        rt.reset()
+        assert rt.ops.total == 0
+        assert rt.mem.total == 0
+        assert rt.location_stats() == []
+        assert rt.module_ops() == {}
+
+
+class TestLocationStats:
+    def test_error_statistics_accumulate(self):
+        rt = RaptorRuntime()
+        loc = SourceLocation("kernel.py", 10, "add")
+        rt.record_truncated_ops(4, location=loc, abs_err=np.array([0.0, 1.0, 2.0, 1.0]))
+        rt.record_truncated_ops(2, location=loc, abs_err=np.array([4.0, 0.0]))
+        ((got_loc, stats),) = rt.location_stats()
+        assert got_loc == loc
+        assert stats.count == 6
+        assert stats.sum_abs_err == 8.0
+        assert stats.max_abs_err == 4.0
+        assert stats.mean_abs_err == 8.0 / 6
+
+    def test_flagged_ordering(self):
+        rt = RaptorRuntime()
+        a = SourceLocation("kernel.py", 1, "a")
+        b = SourceLocation("kernel.py", 2, "b")
+        rt.record_truncated_ops(10, location=a, flagged=1)
+        rt.record_truncated_ops(10, location=b, flagged=7)
+        stats = rt.location_stats()
+        assert stats[0][0] == b
+
+    def test_nonfinite_errors_ignored(self):
+        rt = RaptorRuntime()
+        loc = SourceLocation("kernel.py", 3)
+        rt.record_truncated_ops(3, location=loc, abs_err=np.array([np.inf, np.nan, 1.0]))
+        ((_, stats),) = rt.location_stats()
+        assert stats.max_abs_err == 1.0
+
+    def test_snapshot_roundtrip(self):
+        rt = RaptorRuntime("exp1")
+        rt.record_truncated_ops(5, location=SourceLocation("f.py", 1, "x"))
+        rt.record_full_ops(5)
+        snap = rt.snapshot()
+        assert snap["name"] == "exp1"
+        assert snap["ops"] == {"truncated": 5, "full": 5}
+        assert len(snap["locations"]) == 1
+
+
+class TestDefaultRuntime:
+    def test_get_set_runtime(self):
+        original = get_runtime()
+        try:
+            mine = RaptorRuntime("mine")
+            previous = set_runtime(mine)
+            assert previous is original
+            assert get_runtime() is mine
+        finally:
+            set_runtime(original)

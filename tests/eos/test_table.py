@@ -1,0 +1,88 @@
+"""Tests for the synthetic Helmholtz-like EOS table."""
+import numpy as np
+import pytest
+
+from repro.core import FPFormat, RaptorRuntime, TruncatedContext
+from repro.eos import HelmholtzTable
+
+
+@pytest.fixture(scope="module")
+def table():
+    return HelmholtzTable()
+
+
+class TestTableConstruction:
+    def test_shapes(self, table):
+        assert table.energy_table.shape == (table.n_rho, table.n_temp)
+        assert table.pressure_table.shape == (table.n_rho, table.n_temp)
+
+    def test_tables_positive(self, table):
+        assert np.all(table.energy_table > 0)
+        assert np.all(table.pressure_table > 0)
+
+    def test_energy_monotone_in_temperature(self, table):
+        assert np.all(np.diff(table.energy_table, axis=1) > 0)
+
+    def test_pressure_monotone_in_density(self, table):
+        assert np.all(np.diff(table.pressure_table, axis=0) > 0)
+
+
+class TestInterpolation:
+    def test_matches_analytic_model_inside_table(self, table):
+        rng = np.random.default_rng(3)
+        rho = 10.0 ** rng.uniform(4.5, 7.5, 50)
+        temp = 10.0 ** rng.uniform(7.5, 9.5, 50)
+        e_interp = table.energy(rho, temp)
+        e_exact = table.analytic_energy(rho, temp)
+        assert np.max(np.abs(e_interp - e_exact) / e_exact) < 5e-3
+
+    def test_pressure_interpolation(self, table):
+        rho = np.array([1e5, 1e6])
+        temp = np.array([1e8, 1e9])
+        p = table.pressure(rho, temp)
+        p_exact = table.analytic_pressure(rho, temp)
+        assert np.allclose(p, p_exact, rtol=5e-3)
+
+    def test_exact_on_grid_nodes(self, table):
+        rho = 10.0 ** table.log_rho[10]
+        temp = 10.0 ** table.log_temp[20]
+        e = table.energy(np.array([rho]), np.array([temp]))
+        assert float(e[0]) == pytest.approx(table.energy_table[10, 20], rel=1e-12)
+
+    def test_out_of_range_clamped(self, table):
+        e = table.energy(np.array([1.0]), np.array([1.0]))
+        assert np.isfinite(e).all()
+
+    def test_energy_derivative_positive(self, table):
+        rho = np.full(10, 1e6)
+        temp = np.linspace(2e8, 5e9, 10)
+        dedt = table.energy_derivative(rho, temp)
+        assert np.all(dedt > 0)
+
+    def test_derivative_matches_finite_difference_of_model(self, table):
+        rho = np.array([1e6])
+        temp = np.array([1e9])
+        dedt = float(table.energy_derivative(rho, temp)[0])
+        h = 1e3
+        ref = (table.analytic_energy(rho, temp + h) - table.analytic_energy(rho, temp - h)) / (2 * h)
+        assert dedt == pytest.approx(float(ref[0]), rel=5e-2)
+
+
+class TestTruncatedInterpolation:
+    def test_truncated_lookup_counts_ops(self, table):
+        rt = RaptorRuntime()
+        ctx = TruncatedContext(FPFormat(11, 20), runtime=rt, module="eos")
+        table.energy(np.full(16, 1e6), np.full(16, 1e9), ctx)
+        assert rt.module_ops()["eos"].truncated > 0
+
+    def test_truncation_error_scales_with_mantissa(self, table):
+        rho = np.full(32, 3e5)
+        temp = np.linspace(5e8, 2e9, 32)
+        exact = table.energy(rho, temp)
+
+        def err(man):
+            ctx = TruncatedContext(FPFormat(11, man), runtime=RaptorRuntime())
+            approx = table.energy(rho, temp, ctx)
+            return float(np.max(np.abs(approx - exact) / exact))
+
+        assert err(40) < err(20) < err(8)

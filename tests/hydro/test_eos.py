@@ -1,0 +1,84 @@
+"""Tests for the gamma-law EOS."""
+import numpy as np
+import pytest
+
+from repro.core import FPFormat, RaptorRuntime, TruncatedContext, quantize
+from repro.hydro import GammaLawEOS
+
+
+@pytest.fixture()
+def eos():
+    return GammaLawEOS(gamma=1.4)
+
+
+class TestBasics:
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            GammaLawEOS(gamma=1.0)
+
+    def test_pressure_from_internal_energy(self, eos):
+        dens = np.array([1.0, 2.0])
+        eint = np.array([2.5, 1.0])
+        p = eos.pressure_from_internal_energy(dens, eint)
+        assert np.allclose(p, 0.4 * dens * eint)
+
+    def test_pressure_eint_roundtrip(self, eos):
+        dens = np.array([0.5, 1.0, 3.0])
+        pres = np.array([0.1, 1.0, 10.0])
+        eint = eos.internal_energy_from_pressure(dens, pres)
+        back = eos.pressure_from_internal_energy(dens, eint)
+        assert np.allclose(back, pres)
+
+    def test_sound_speed(self, eos):
+        c = eos.sound_speed(np.array([1.0]), np.array([1.0]))
+        assert float(c[0]) == pytest.approx(np.sqrt(1.4))
+
+    def test_total_energy(self, eos):
+        dens = np.array([2.0])
+        velx = np.array([3.0])
+        vely = np.array([4.0])
+        pres = np.array([1.0])
+        e = eos.total_energy(dens, velx, vely, pres)
+        expected = 1.0 / 0.4 + 0.5 * 2.0 * 25.0
+        assert float(e[0]) == pytest.approx(expected)
+
+    def test_pressure_from_total_energy_roundtrip(self, eos):
+        dens = np.array([1.3])
+        velx = np.array([0.7])
+        vely = np.array([-0.2])
+        pres = np.array([2.1])
+        ener = eos.total_energy(dens, velx, vely, pres)
+        back = eos.pressure_from_total_energy(dens, dens * velx, dens * vely, ener)
+        assert float(back[0]) == pytest.approx(2.1)
+
+    def test_floors(self, eos):
+        p = eos.pressure_from_total_energy(
+            np.array([1.0]), np.array([0.0]), np.array([0.0]), np.array([-5.0])
+        )
+        assert float(p[0]) == eos.pressure_floor
+        d, pr = eos.apply_floors(np.array([-1.0]), np.array([-1.0]))
+        assert d[0] == eos.density_floor and pr[0] == eos.pressure_floor
+
+
+class TestWithTruncation:
+    def test_truncated_results_representable(self, eos):
+        fmt = FPFormat(8, 8)
+        ctx = TruncatedContext(fmt, runtime=RaptorRuntime())
+        dens = np.linspace(0.5, 2.0, 16)
+        pres = np.linspace(0.1, 3.0, 16)
+        c = eos.sound_speed(dens, pres, ctx)
+        assert np.array_equal(c, quantize(c, fmt))
+
+    def test_truncation_error_small_for_wide_mantissa(self, eos):
+        dens = np.linspace(0.5, 2.0, 64)
+        pres = np.linspace(0.1, 3.0, 64)
+        exact = eos.sound_speed(dens, pres)
+        ctx = TruncatedContext(FPFormat(11, 40), runtime=RaptorRuntime())
+        approx = eos.sound_speed(dens, pres, ctx)
+        assert np.max(np.abs(approx - exact) / exact) < 1e-10
+
+    def test_ops_counted(self, eos):
+        rt = RaptorRuntime()
+        ctx = TruncatedContext(FPFormat(8, 10), runtime=rt, module="eos")
+        eos.total_energy(np.ones(8), np.ones(8), np.ones(8), np.ones(8), ctx)
+        assert rt.module_ops()["eos"].truncated > 0

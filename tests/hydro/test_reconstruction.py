@@ -1,0 +1,127 @@
+"""Tests for interface-state reconstruction."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FPFormat, FullPrecisionContext, RaptorRuntime, ShadowContext, TruncatedContext
+from repro.hydro import reconstruct
+
+NG = 3
+N = 8  # interior cells along the sweep
+
+
+def ctx_full():
+    return FullPrecisionContext(runtime=RaptorRuntime(), count_ops=False, track_memory=False)
+
+
+def make_field(profile_1d, transverse=4):
+    """Build a (N + 2*NG, transverse) array from a 1-D profile along axis 0."""
+    col = np.asarray(profile_1d, dtype=float)
+    assert col.shape[0] == N + 2 * NG
+    return np.tile(col[:, None], (1, transverse))
+
+
+class TestShapes:
+    @pytest.mark.parametrize("scheme", ["pcm", "plm", "weno5"])
+    def test_face_count_axis0(self, scheme):
+        u = make_field(np.linspace(0, 1, N + 2 * NG))
+        left, right = reconstruct(u, 0, NG, N, ctx_full(), scheme)
+        assert left.shape == (N + 1, 4)
+        assert right.shape == (N + 1, 4)
+
+    @pytest.mark.parametrize("scheme", ["pcm", "plm", "weno5"])
+    def test_face_count_axis1(self, scheme):
+        u = make_field(np.linspace(0, 1, N + 2 * NG)).T.copy()
+        left, right = reconstruct(u, 1, NG, N, ctx_full(), scheme)
+        assert left.shape == (4, N + 1)
+        assert right.shape == (4, N + 1)
+
+    def test_unknown_scheme(self):
+        u = make_field(np.zeros(N + 2 * NG))
+        with pytest.raises(ValueError):
+            reconstruct(u, 0, NG, N, ctx_full(), "ppm")
+
+    def test_insufficient_guards(self):
+        u = np.zeros((N + 4, 4))
+        with pytest.raises(ValueError):
+            reconstruct(u, 0, 2, N, ctx_full(), "weno5")
+        with pytest.raises(ValueError):
+            reconstruct(u, 0, 1, N, ctx_full(), "plm")
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("scheme", ["pcm", "plm", "weno5"])
+    def test_constant_field_exact(self, scheme):
+        u = make_field(np.full(N + 2 * NG, 7.5))
+        left, right = reconstruct(u, 0, NG, N, ctx_full(), scheme)
+        assert np.allclose(left, 7.5)
+        assert np.allclose(right, 7.5)
+
+    @pytest.mark.parametrize("scheme", ["plm", "weno5"])
+    def test_linear_field_reproduced(self, scheme):
+        cells = np.arange(N + 2 * NG, dtype=float)
+        u = make_field(2.0 * cells)
+        left, right = reconstruct(u, 0, NG, N, ctx_full(), scheme)
+        # interface value between cells i and i+1 of a linear profile is the midpoint
+        faces = 2.0 * (np.arange(N + 1) + NG - 0.5)
+        assert np.allclose(left[:, 0], faces, atol=1e-10)
+        assert np.allclose(right[:, 0], faces, atol=1e-10)
+
+    def test_pcm_first_order(self):
+        cells = np.arange(N + 2 * NG, dtype=float)
+        u = make_field(cells)
+        left, right = reconstruct(u, 0, NG, N, ctx_full(), "pcm")
+        assert np.allclose(left[:, 0], cells[NG - 1:NG + N])
+        assert np.allclose(right[:, 0], cells[NG:NG + N + 1])
+
+    @pytest.mark.parametrize("scheme,tol", [("plm", 1e-9), ("weno5", 0.5)])
+    def test_no_large_overshoot_at_discontinuity(self, scheme, tol):
+        """PLM is strictly bounded (minmod); WENO5 may overshoot a step by a
+        small fraction of the jump but must stay essentially non-oscillatory."""
+        profile = np.ones(N + 2 * NG)
+        profile[N // 2 + NG:] = 10.0
+        u = make_field(profile)
+        left, right = reconstruct(u, 0, NG, N, ctx_full(), scheme)
+        assert left.max() <= 10.0 + tol and left.min() >= 1.0 - tol
+        assert right.max() <= 10.0 + tol and right.min() >= 1.0 - tol
+
+
+class TestWithInstrumentation:
+    def test_truncated_context_counts_ops(self):
+        rt = RaptorRuntime()
+        ctx = TruncatedContext(FPFormat(8, 10), runtime=rt, module="recon")
+        u = make_field(np.linspace(0, 1, N + 2 * NG))
+        reconstruct(u, 0, NG, N, ctx, "weno5")
+        assert rt.module_ops()["recon"].truncated > 0
+
+    def test_shadow_context_produces_shadow_arrays(self):
+        rt = RaptorRuntime()
+        ctx = ShadowContext(FPFormat(8, 6), runtime=rt, module="recon")
+        u = ctx.lift(make_field(np.linspace(0, 2, N + 2 * NG)))
+        left, right = reconstruct(u, 0, NG, N, ctx, "plm")
+        assert left.shape == (N + 1, 4)
+        assert hasattr(left, "shadow")
+
+    def test_truncated_close_to_exact_for_wide_format(self):
+        u = make_field(np.sin(np.linspace(0, 3, N + 2 * NG)))
+        exact_l, _ = reconstruct(u, 0, NG, N, ctx_full(), "weno5")
+        ctx = TruncatedContext(FPFormat(11, 44), runtime=RaptorRuntime())
+        approx_l, _ = reconstruct(u, 0, NG, N, ctx, "weno5")
+        assert np.max(np.abs(approx_l - exact_l)) < 1e-9
+
+
+@given(
+    values=st.lists(st.floats(min_value=-100, max_value=100), min_size=N + 2 * NG, max_size=N + 2 * NG),
+)
+@settings(max_examples=60, deadline=None)
+def test_plm_interface_states_bounded_by_neighbours(values):
+    """PLM interface states stay within the range of the two adjacent cells'
+    neighbourhood (TVD-like property of the minmod limiter)."""
+    u = make_field(np.array(values))
+    left, right = reconstruct(u, 0, NG, N, ctx_full(), "plm")
+    # global bound is sufficient (and robust): no state outside the data range
+    assert left.max() <= np.max(values) + 1e-9
+    assert left.min() >= np.min(values) - 1e-9
+    assert right.max() <= np.max(values) + 1e-9
+    assert right.min() >= np.min(values) - 1e-9

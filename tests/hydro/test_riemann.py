@@ -1,0 +1,138 @@
+"""Tests for the approximate Riemann solvers."""
+import numpy as np
+import pytest
+
+from repro.core import FPFormat, FullPrecisionContext, RaptorRuntime, TruncatedContext
+from repro.hydro import GammaLawEOS, euler_flux, hll_flux, hllc_flux
+
+
+@pytest.fixture()
+def eos():
+    return GammaLawEOS(gamma=1.4)
+
+
+def ctx_full():
+    return FullPrecisionContext(runtime=RaptorRuntime(), count_ops=False, track_memory=False)
+
+
+def state(dens, velx, vely, pres, n=5):
+    return {
+        "dens": np.full(n, float(dens)),
+        "velx": np.full(n, float(velx)),
+        "vely": np.full(n, float(vely)),
+        "pres": np.full(n, float(pres)),
+    }
+
+
+class TestEulerFlux:
+    def test_static_state_flux(self, eos):
+        s = state(1.0, 0.0, 0.0, 1.0)
+        f = euler_flux(s, eos, ctx_full())
+        assert np.allclose(f["dens"], 0.0)
+        assert np.allclose(f["momn"], 1.0)  # pressure term only
+        assert np.allclose(f["momt"], 0.0)
+        assert np.allclose(f["ener"], 0.0)
+
+    def test_moving_state_flux(self, eos):
+        s = state(2.0, 3.0, 1.0, 5.0)
+        f = euler_flux(s, eos, ctx_full())
+        ener = 5.0 / 0.4 + 0.5 * 2.0 * (9.0 + 1.0)
+        assert np.allclose(f["dens"], 6.0)
+        assert np.allclose(f["momn"], 2.0 * 9.0 + 5.0)
+        assert np.allclose(f["momt"], 2.0 * 3.0 * 1.0)
+        assert np.allclose(f["ener"], (ener + 5.0) * 3.0)
+
+
+@pytest.mark.parametrize("solver", [hll_flux, hllc_flux], ids=["hll", "hllc"])
+class TestConsistency:
+    def test_equal_states_give_physical_flux(self, solver, eos):
+        s = state(1.4, 0.6, -0.3, 2.0)
+        f_exact = euler_flux(s, eos, ctx_full())
+        f = solver(s, s, eos, ctx_full())
+        for comp in ("dens", "momn", "momt", "ener"):
+            assert np.allclose(f[comp], f_exact[comp], rtol=1e-12)
+
+    def test_supersonic_right_moving_upwinds_left(self, solver, eos):
+        left = state(1.0, 5.0, 0.0, 1.0)   # Mach ~4.2
+        right = state(0.5, 5.0, 0.0, 0.5)
+        f = solver(left, right, eos, ctx_full())
+        f_left = euler_flux(left, eos, ctx_full())
+        for comp in ("dens", "momn", "momt", "ener"):
+            assert np.allclose(f[comp], f_left[comp], rtol=1e-12)
+
+    def test_supersonic_left_moving_upwinds_right(self, solver, eos):
+        left = state(1.0, -5.0, 0.0, 1.0)
+        right = state(0.5, -5.0, 0.0, 0.5)
+        f = solver(left, right, eos, ctx_full())
+        f_right = euler_flux(right, eos, ctx_full())
+        for comp in ("dens", "momn", "momt", "ener"):
+            assert np.allclose(f[comp], f_right[comp], rtol=1e-12)
+
+    def test_sod_interface_mass_flux_positive(self, solver, eos):
+        """Sod initial discontinuity: mass must flow from the high-pressure
+        side to the low-pressure side."""
+        left = state(1.0, 0.0, 0.0, 1.0)
+        right = state(0.125, 0.0, 0.0, 0.1)
+        f = solver(left, right, eos, ctx_full())
+        assert np.all(f["dens"] > 0.0)
+
+    def test_symmetry_under_mirror(self, solver, eos):
+        """Mirroring left/right and negating the normal velocity flips the
+        sign of the mass and energy fluxes."""
+        left = state(1.0, 0.3, 0.1, 1.0)
+        right = state(0.6, -0.2, 0.0, 0.4)
+        f = solver(left, right, eos, ctx_full())
+        mirrored_left = state(0.6, 0.2, 0.0, 0.4)
+        mirrored_right = state(1.0, -0.3, 0.1, 1.0)
+        g = solver(mirrored_left, mirrored_right, eos, ctx_full())
+        assert np.allclose(f["dens"], -g["dens"], atol=1e-12)
+        assert np.allclose(f["ener"], -g["ener"], atol=1e-12)
+        assert np.allclose(f["momn"], g["momn"], atol=1e-12)
+
+    def test_finite_for_strong_shock(self, solver, eos):
+        left = state(1.0, 0.0, 0.0, 1000.0)
+        right = state(1.0, 0.0, 0.0, 0.01)
+        f = solver(left, right, eos, ctx_full())
+        for comp in ("dens", "momn", "momt", "ener"):
+            assert np.all(np.isfinite(f[comp]))
+
+
+class TestHLLCvsHLL:
+    def test_hllc_matches_hll_for_symmetric_problem(self, eos):
+        left = state(1.0, 0.0, 0.0, 1.0)
+        right = state(1.0, 0.0, 0.0, 1.0)
+        f1 = hll_flux(left, right, eos, ctx_full())
+        f2 = hllc_flux(left, right, eos, ctx_full())
+        for comp in ("dens", "momn", "momt", "ener"):
+            assert np.allclose(f1[comp], f2[comp])
+
+    def test_hllc_less_diffusive_on_contact(self, eos):
+        """A stationary contact discontinuity (equal pressure/velocity,
+        different density) is resolved exactly by HLLC but smeared by HLL."""
+        left = state(1.0, 0.0, 0.0, 1.0)
+        right = state(0.1, 0.0, 0.0, 1.0)
+        f_hllc = hllc_flux(left, right, eos, ctx_full())
+        f_hll = hll_flux(left, right, eos, ctx_full())
+        assert np.allclose(f_hllc["dens"], 0.0, atol=1e-12)
+        assert np.all(np.abs(f_hll["dens"]) > 1e-3)
+
+
+class TestWithTruncation:
+    def test_truncated_flux_counts_ops_and_stays_finite(self, eos):
+        rt = RaptorRuntime()
+        ctx = TruncatedContext(FPFormat(5, 8), runtime=rt, module="riemann")
+        left = state(1.0, 0.0, 0.0, 1.0, n=32)
+        right = state(0.125, 0.0, 0.0, 0.1, n=32)
+        f = hllc_flux(left, right, eos, ctx)
+        assert rt.module_ops()["riemann"].truncated > 0
+        for comp in ("dens", "momn", "momt", "ener"):
+            assert np.all(np.isfinite(f[comp]))
+
+    def test_truncated_flux_close_to_exact_for_wide_format(self, eos):
+        left = state(1.0, 0.2, 0.0, 1.0, n=16)
+        right = state(0.5, -0.1, 0.0, 0.3, n=16)
+        exact = hllc_flux(left, right, eos, ctx_full())
+        ctx = TruncatedContext(FPFormat(11, 45), runtime=RaptorRuntime())
+        approx = hllc_flux(left, right, eos, ctx)
+        for comp in ("dens", "momn", "momt", "ener"):
+            assert np.allclose(approx[comp], exact[comp], rtol=1e-9)

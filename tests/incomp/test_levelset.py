@@ -1,0 +1,152 @@
+"""Tests for the level-set module."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FPFormat, FullPrecisionContext, RaptorRuntime, TruncatedContext
+from repro.incomp import LevelSet, circle_level_set, interface_level_map
+
+
+def make_levelset(n=32, radius=0.3):
+    x = np.linspace(-1, 1, n)
+    y = np.linspace(-1, 1, n)
+    X, Y = np.meshgrid(x, y, indexing="ij")
+    dx = x[1] - x[0]
+    phi = circle_level_set(X, Y, (0.0, 0.0), radius)
+    return LevelSet(phi, dx, dx), X, Y
+
+
+class TestCircleLevelSet:
+    def test_sign_convention(self):
+        ls, X, Y = make_levelset()
+        assert ls.phi[16, 16] > 0          # centre: gas
+        assert ls.phi[0, 0] < 0            # corner: liquid
+
+    def test_zero_on_interface(self):
+        phi = circle_level_set(np.array([[0.3]]), np.array([[0.0]]), (0.0, 0.0), 0.3)
+        assert float(phi[0, 0]) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPhaseProperties:
+    def test_heaviside_limits(self):
+        ls, _, _ = make_levelset()
+        h = ls.heaviside()
+        assert np.all((h >= 0) & (h <= 1))
+        assert h[16, 16] == 1.0
+        assert h[0, 0] == 0.0
+
+    def test_density_between_phases(self):
+        ls, _, _ = make_levelset()
+        rho = ls.density(1.0, 0.001)
+        assert rho[0, 0] == pytest.approx(1.0)
+        assert rho[16, 16] == pytest.approx(0.001)
+        assert np.all((rho >= 0.001 - 1e-12) & (rho <= 1.0 + 1e-12))
+
+    def test_viscosity_between_phases(self):
+        ls, _, _ = make_levelset()
+        mu = ls.viscosity(1.0, 0.1)
+        assert np.all((mu >= 0.1 - 1e-12) & (mu <= 1.0 + 1e-12))
+
+    def test_delta_localised_at_interface(self):
+        ls, _, _ = make_levelset()
+        d = ls.delta()
+        assert np.max(d) > 0
+        assert d[16, 16] == 0.0
+        assert d[0, 0] == 0.0
+
+    def test_volume_approximates_circle_area(self):
+        ls, _, _ = make_levelset(n=64, radius=0.4)
+        dx = 2.0 / 64
+        vol = ls.volume(dx * dx)
+        assert vol == pytest.approx(np.pi * 0.4 ** 2, rel=0.05)
+
+    def test_curvature_of_circle(self):
+        ls, _, _ = make_levelset(n=64, radius=0.4)
+        mask = ls.interface_contour_mask(width=0.05)
+        kappa = ls.curvature()[mask]
+        # curvature of the phi>0-inside convention circle is -1/R
+        assert np.median(kappa) == pytest.approx(-1.0 / 0.4, rel=0.25)
+
+
+class TestAdvection:
+    def test_uniform_translation_moves_interface(self):
+        ls, X, Y = make_levelset(n=48, radius=0.3)
+        dx = 2.0 / 48
+        u = np.full_like(ls.phi, 0.5)
+        v = np.zeros_like(ls.phi)
+        x0 = float(np.sum(ls.heaviside() * X) / np.sum(ls.heaviside()))
+        for _ in range(20):
+            ls.advect(u, v, dt=0.4 * dx)
+        x1 = float(np.sum(ls.heaviside() * X) / np.sum(ls.heaviside()))
+        assert x1 > x0 + 0.05
+
+    def test_zero_velocity_is_identity(self):
+        ls, _, _ = make_levelset()
+        phi0 = ls.phi.copy()
+        ls.advect(np.zeros_like(phi0), np.zeros_like(phi0), dt=0.01)
+        assert np.array_equal(ls.phi, phi0)
+
+    def test_truncated_advection_counts_ops_and_differs(self):
+        ls_ref, _, _ = make_levelset(n=32)
+        ls_tr, _, _ = make_levelset(n=32)
+        u = np.full_like(ls_ref.phi, 0.3)
+        v = np.full_like(ls_ref.phi, -0.2)
+        rt = RaptorRuntime()
+        ctx = TruncatedContext(FPFormat(8, 4), runtime=rt, module="advection")
+        for _ in range(5):
+            ls_ref.advect(u, v, 0.01)
+            ls_tr.advect(u, v, 0.01, ctx)
+        assert rt.module_ops()["advection"].truncated > 0
+        assert np.max(np.abs(ls_ref.phi - ls_tr.phi)) > 0
+
+
+class TestReinitialisation:
+    def test_restores_unit_gradient(self):
+        ls, _, _ = make_levelset(n=48, radius=0.35)
+        # distort the level set away from a signed distance function
+        ls.phi = ls.phi * (1.0 + 2.0 * np.abs(ls.phi))
+        ls.reinitialize(iterations=40)
+        gx = np.gradient(ls.phi, ls.dx, axis=0)
+        gy = np.gradient(ls.phi, ls.dy, axis=1)
+        mag = np.sqrt(gx ** 2 + gy ** 2)
+        band = np.abs(ls.phi) < 0.2
+        assert np.median(np.abs(mag[band] - 1.0)) < 0.15
+
+    def test_interface_location_roughly_preserved(self):
+        ls, _, _ = make_levelset(n=48, radius=0.35)
+        before = ls.volume(ls.dx * ls.dy)
+        ls.reinitialize(iterations=20)
+        after = ls.volume(ls.dx * ls.dy)
+        assert after == pytest.approx(before, rel=0.1)
+
+
+class TestLevelMap:
+    def test_levels_bounded_and_peak_at_interface(self):
+        ls, _, _ = make_levelset(n=48, radius=0.35)
+        levels = ls.level_map(max_level=4)
+        assert levels.min() >= 1
+        assert levels.max() == 4
+        interface = ls.interface_contour_mask()
+        assert np.all(levels[interface] == 4)
+
+    def test_levels_decrease_with_distance(self):
+        phi = np.linspace(0, 1, 100).reshape(1, -1)  # distance grows along the row
+        levels = interface_level_map(phi, dx=0.01, max_level=4)
+        assert levels[0, 0] == 4
+        assert levels[0, -1] == 1
+        assert np.all(np.diff(levels[0, :]) <= 0)
+
+    def test_max_level_one_is_uniform(self):
+        ls, _, _ = make_levelset()
+        assert np.all(ls.level_map(max_level=1) == 1)
+
+
+@given(radius=st.floats(0.1, 0.6))
+@settings(max_examples=20, deadline=None)
+def test_heaviside_volume_monotone_in_radius(radius):
+    ls, _, _ = make_levelset(n=32, radius=radius)
+    bigger, _, _ = make_levelset(n=32, radius=min(radius + 0.2, 0.8))
+    area = ls.volume(1.0)
+    area_big = bigger.volume(1.0)
+    assert area_big >= area

@@ -1,0 +1,72 @@
+"""Tests for the pressure Poisson solver."""
+import numpy as np
+import pytest
+
+from repro.incomp import PoissonSolver
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return PoissonSolver(nx=32, ny=24, dx=1.0 / 32, dy=1.0 / 24)
+
+
+class TestSolver:
+    def test_rhs_shape_validated(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros((8, 8)))
+
+    def test_zero_rhs_gives_constant_solution(self, solver):
+        p = solver.solve(np.zeros((32, 24)))
+        assert np.allclose(p, 0.0, atol=1e-10)
+
+    def test_solution_has_zero_mean(self, solver):
+        rng = np.random.default_rng(0)
+        rhs = rng.normal(size=(32, 24))
+        p = solver.solve(rhs)
+        assert abs(float(np.mean(p))) < 1e-12
+
+    def test_residual_small(self, solver):
+        rng = np.random.default_rng(1)
+        rhs = rng.normal(size=(32, 24))
+        p = solver.solve(rhs)
+        assert solver.residual(p, rhs) < 1e-8
+
+    def test_manufactured_solution(self):
+        """lap(cos(pi x) cos(pi y)) = -2 pi^2 cos(pi x) cos(pi y), which is
+        compatible with homogeneous Neumann walls."""
+        nx = ny = 48
+        dx = 1.0 / nx
+        solver = PoissonSolver(nx, ny, dx, dx)
+        x = (np.arange(nx) + 0.5) * dx
+        y = (np.arange(ny) + 0.5) * dx
+        X, Y = np.meshgrid(x, y, indexing="ij")
+        exact = np.cos(np.pi * X) * np.cos(np.pi * Y)
+        rhs = -2 * np.pi ** 2 * exact
+        p = solver.solve(rhs)
+        exact_zero_mean = exact - exact.mean()
+        err = np.max(np.abs(p - exact_zero_mean))
+        assert err < 5e-3
+
+    def test_gradient_shapes(self, solver):
+        p = solver.solve(np.random.default_rng(2).normal(size=(32, 24)))
+        gx, gy = solver.gradient(p)
+        assert gx.shape == (32, 24)
+        assert gy.shape == (32, 24)
+
+    def test_projection_reduces_divergence(self, solver):
+        """Projecting an arbitrary velocity field must reduce its divergence
+        (the property the fractional-step method relies on)."""
+        rng = np.random.default_rng(3)
+        dx, dy = solver.dx, solver.dy
+        u = rng.normal(size=(32, 24))
+        v = rng.normal(size=(32, 24))
+        # zero the wall-normal velocities, as the bubble solver does
+        u[0, :] = u[-1, :] = 0.0
+        v[:, 0] = v[:, -1] = 0.0
+        dt = 0.1
+        div = np.gradient(u, dx, axis=0) + np.gradient(v, dy, axis=1)
+        p = solver.solve(div / dt)
+        gx, gy = solver.gradient(p)
+        u2, v2 = u - dt * gx, v - dt * gy
+        div2 = np.gradient(u2, dx, axis=0) + np.gradient(v2, dy, axis=1)
+        assert np.linalg.norm(div2[2:-2, 2:-2]) < 0.7 * np.linalg.norm(div[2:-2, 2:-2])

@@ -1,0 +1,104 @@
+"""Tests for checkpoints and the sfocu comparison utility."""
+import numpy as np
+import pytest
+
+from repro.amr import AMRGrid
+from repro.io import Checkpoint, compare, l1_norm
+
+
+def make_grid():
+    g = AMRGrid(["dens", "pres"], nxb=8, nyb=8, n_root_x=2, n_root_y=1, max_level=2, ng=2)
+    g.initialize(lambda x, y: {"dens": 1.0 + x * y, "pres": np.full_like(x, 0.5)})
+    return g
+
+
+class TestCheckpoint:
+    def test_from_grid_shapes_and_metadata(self):
+        g = make_grid()
+        cp = Checkpoint.from_grid(g, time=0.25)
+        assert cp.time == 0.25
+        assert set(cp.variables()) == {"dens", "pres"}
+        assert cp["dens"].shape == (16, 8)
+        assert cp.metadata["n_leaves"] == 2
+
+    def test_from_grid_at_max_level(self):
+        g = make_grid()
+        cp = Checkpoint.from_grid(g, level=2)
+        assert cp["dens"].shape == (32, 16)
+
+    def test_from_arrays_and_contains(self):
+        cp = Checkpoint.from_arrays({"a": np.ones((4, 4))}, time=1.0)
+        assert "a" in cp
+        assert "b" not in cp
+
+    def test_save_load_roundtrip(self, tmp_path):
+        g = make_grid()
+        cp = Checkpoint.from_grid(g, time=0.5, metadata={"policy": "none"})
+        path = cp.save(tmp_path / "ckpt.npz")
+        loaded = Checkpoint.load(path)
+        assert loaded.time == 0.5
+        assert loaded.metadata["policy"] == "none"
+        for name in cp.variables():
+            assert np.array_equal(loaded[name], cp[name])
+
+
+class TestL1Norm:
+    def test_zero_for_identical(self):
+        a = np.random.default_rng(0).normal(size=(8, 8))
+        assert l1_norm(a, a) == 0.0
+
+    def test_relative_normalisation(self):
+        ref = np.full((4, 4), 2.0)
+        test = ref + 0.02
+        assert l1_norm(test, ref) == pytest.approx(0.01)
+
+    def test_zero_reference(self):
+        assert l1_norm(np.ones(4), np.zeros(4)) == pytest.approx(4.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            l1_norm(np.ones((2, 2)), np.ones((3, 3)))
+
+
+class TestCompare:
+    def _pair(self, delta=0.0):
+        base = {"dens": np.linspace(1, 2, 64).reshape(8, 8), "velx": np.zeros((8, 8))}
+        test = {k: v + delta for k, v in base.items()}
+        return Checkpoint.from_arrays(test, time=1.0), Checkpoint.from_arrays(base, time=1.0)
+
+    def test_identical_checkpoints(self):
+        t, r = self._pair(0.0)
+        report = compare(t, r)
+        assert report.identical
+        assert report.max_l1 == 0.0
+        assert "SUCCESS" in report.to_text()
+
+    def test_differing_checkpoints(self):
+        t, r = self._pair(1e-3)
+        report = compare(t, r)
+        assert not report.identical
+        assert report.l1("dens") > 0
+        assert report["dens"].linf == pytest.approx(1e-3)
+        assert "FAILURE" in report.to_text()
+
+    def test_variable_subset(self):
+        t, r = self._pair(1e-3)
+        report = compare(t, r, variables=["dens"])
+        assert set(report.variables) == {"dens"}
+
+    def test_mismatched_variables_raise(self):
+        a = Checkpoint.from_arrays({"dens": np.ones((4, 4))})
+        b = Checkpoint.from_arrays({"dens": np.ones((4, 4)), "pres": np.ones((4, 4))})
+        with pytest.raises(ValueError):
+            compare(a, b)
+
+    def test_mismatched_shapes_raise(self):
+        a = Checkpoint.from_arrays({"dens": np.ones((4, 4))})
+        b = Checkpoint.from_arrays({"dens": np.ones((8, 8))})
+        with pytest.raises(ValueError):
+            compare(a, b)
+
+    def test_l1_matches_module_function(self):
+        t, r = self._pair(2e-2)
+        report = compare(t, r)
+        assert report.l1("dens") == pytest.approx(l1_norm(t["dens"], r["dens"]))

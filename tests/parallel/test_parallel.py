@@ -1,0 +1,119 @@
+"""Tests for the domain-decomposition substrate."""
+import numpy as np
+import pytest
+
+from repro.amr import AMRGrid
+from repro.parallel import BlockDistribution, SimulatedComm, morton_index
+
+
+def make_grid(max_level=3):
+    g = AMRGrid(["dens"], nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=max_level, ng=2)
+
+    def ic(x, y):
+        r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2
+        return {"dens": 1.0 + 5.0 * np.exp(-r2 / 0.01)}
+
+    g.initialize_with_refinement(ic, ["dens"], refine_cutoff=0.3)
+    return g
+
+
+class TestMortonIndex:
+    def test_deterministic_and_unique_per_level(self):
+        keys = [(2, i, j) for i in range(4) for j in range(4)]
+        codes = [morton_index(k) for k in keys]
+        assert len(set(codes)) == len(codes)
+
+    def test_spatial_locality(self):
+        """Adjacent blocks should be closer in Morton order than far blocks."""
+        near = abs(morton_index((3, 0, 0)) - morton_index((3, 1, 0)))
+        far = abs(morton_index((3, 0, 0)) - morton_index((3, 7, 7)))
+        assert near < far
+
+
+class TestBlockDistribution:
+    def test_every_leaf_assigned_exactly_once(self):
+        grid = make_grid()
+        dist = BlockDistribution.from_grid(grid, n_ranks=4)
+        assert len(dist) == grid.n_leaves
+        assert set(dist.assignment.keys()) == set(grid.leaves.keys())
+
+    def test_single_rank_gets_everything(self):
+        grid = make_grid()
+        dist = BlockDistribution.from_grid(grid, n_ranks=1)
+        assert dist.counts() == [grid.n_leaves]
+
+    def test_balanced_within_one_block(self):
+        grid = make_grid()
+        for n_ranks in (2, 3, 4, 8):
+            counts = BlockDistribution.from_grid(grid, n_ranks).counts()
+            assert max(counts) - min(counts) <= 1
+
+    def test_rank_of_and_blocks_for_consistent(self):
+        grid = make_grid()
+        dist = BlockDistribution.from_grid(grid, n_ranks=4)
+        for rank in range(4):
+            for key in dist.blocks_for(rank):
+                assert dist.rank_of(key) == rank
+
+    def test_imbalance_metric(self):
+        grid = make_grid()
+        dist = BlockDistribution.from_grid(grid, n_ranks=2)
+        assert dist.imbalance >= 1.0
+        assert dist.imbalance < 1.2
+
+    def test_invalid_inputs(self):
+        grid = make_grid()
+        with pytest.raises(ValueError):
+            BlockDistribution.from_grid(grid, n_ranks=0)
+        dist = BlockDistribution.from_grid(grid, n_ranks=2)
+        with pytest.raises(ValueError):
+            dist.blocks_for(5)
+
+    def test_rank_count_does_not_change_global_sums(self):
+        """The decomposition analogue of 'parallelisation does not affect the
+        outcome': per-rank partial sums reduce to the same global integral
+        regardless of the number of ranks."""
+        grid = make_grid()
+        global_integral = grid.total_integral("dens")
+        for n_ranks in (1, 2, 4, 8):
+            dist = BlockDistribution.from_grid(grid, n_ranks)
+            comm = SimulatedComm(n_ranks)
+            partials = []
+            for rank in range(n_ranks):
+                partials.append(sum(grid.leaves[k].integral("dens") for k in dist.blocks_for(rank)))
+            total = comm.allreduce(partials, op="sum")
+            assert float(total) == pytest.approx(global_integral, rel=1e-12)
+
+
+class TestSimulatedComm:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(0)
+        assert SimulatedComm(4).size == 4
+        assert SimulatedComm(4).Get_size() == 4
+
+    def test_allreduce_ops(self):
+        comm = SimulatedComm(3)
+        assert float(comm.allreduce([1.0, 2.0, 3.0], "sum")) == 6.0
+        assert float(comm.allreduce([1.0, 2.0, 3.0], "max")) == 3.0
+        assert float(comm.allreduce([1.0, 2.0, 3.0], "min")) == 1.0
+
+    def test_allreduce_arrays(self):
+        comm = SimulatedComm(2)
+        out = comm.allreduce([np.ones(3), 2 * np.ones(3)], "sum")
+        assert np.array_equal(out, 3 * np.ones(3))
+
+    def test_wrong_contribution_count(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(2).allreduce([1.0], "sum")
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(1).allreduce([1.0], "prod")
+
+    def test_allgather_and_bcast(self):
+        comm = SimulatedComm(2)
+        assert comm.allgather([1, 2]) == [1, 2]
+        assert comm.bcast("hello") == "hello"
+        with pytest.raises(ValueError):
+            comm.bcast(1, root=5)

@@ -1,0 +1,111 @@
+"""Integration tests for the Cellular and Bubble workloads."""
+import numpy as np
+import pytest
+
+from repro.core import RaptorRuntime
+from repro.workloads import (
+    BubbleExperimentConfig,
+    BubbleWorkload,
+    CellularConfig,
+    CellularWorkload,
+    STRATEGIES,
+)
+from repro.incomp import BubbleConfig
+
+
+@pytest.fixture(scope="module")
+def cellular():
+    return CellularWorkload(CellularConfig(n_cells=48, n_steps=15))
+
+
+class TestCellular:
+    def test_reference_run_converges_and_detonates(self, cellular):
+        result = cellular.run()
+        assert result.eos_converged
+        assert result.failed_newton_steps == 0
+        assert result.total_newton_calls == 15
+        assert result.final_burned_fraction > 0.01
+        assert result.detonation_propagated
+
+    def test_front_positions_monotone(self, cellular):
+        result = cellular.run()
+        fronts = np.array(result.front_positions)
+        assert np.all(np.diff(fronts) >= -1e-9)
+
+    def test_eos_truncation_narrow_mantissa_breaks_convergence(self, cellular):
+        rt = RaptorRuntime()
+        policy = cellular.eos_policy(12, runtime=rt)
+        result = cellular.run(policy=policy, runtime=rt, n_steps=6)
+        assert not result.eos_converged
+        assert result.failed_newton_steps > 0
+        assert rt.ops.truncated > 0
+
+    def test_eos_truncation_wide_mantissa_still_converges(self, cellular):
+        rt = RaptorRuntime()
+        policy = cellular.eos_policy(50, runtime=rt)
+        result = cellular.run(policy=policy, runtime=rt, n_steps=6)
+        assert result.eos_converged
+
+    def test_only_eos_module_is_truncated(self, cellular):
+        rt = RaptorRuntime()
+        policy = cellular.eos_policy(12, runtime=rt)
+        cellular.run(policy=policy, runtime=rt, n_steps=4)
+        mods = rt.module_ops()
+        assert mods["eos"].truncated > 0
+        assert mods["eos"].full == 0
+        assert mods.get("burn") is None or mods["burn"].truncated == 0
+
+
+@pytest.fixture(scope="module")
+def bubble_workload():
+    cfg = BubbleExperimentConfig(
+        solver=BubbleConfig(
+            nx=20, ny=30, xlim=(-1.0, 1.0), ylim=(-1.0, 2.0),
+            reynolds=700.0, advection_scheme="upwind", reinit_interval=4,
+        ),
+        spin_up_time=0.05,
+        truncation_time=0.08,
+        snapshot_times=(0.04, 0.08),
+        fixed_dt=0.004,
+    )
+    return BubbleWorkload(cfg)
+
+
+class TestBubble:
+    def test_unknown_strategy_rejected(self, bubble_workload):
+        with pytest.raises(ValueError):
+            bubble_workload.run("bogus", 12)
+
+    def test_reference_run_produces_snapshots(self, bubble_workload):
+        ref = bubble_workload.run("none", 52)
+        assert len(ref.snapshots) >= 2
+        assert ref.fragments >= 1
+        assert ref.gas_volume > 0
+        assert all(np.all(np.isfinite(phi)) for phi in ref.snapshots.values())
+
+    def test_spun_up_state_reused_between_runs(self, bubble_workload):
+        a = bubble_workload.run("none", 52)
+        b = bubble_workload.run("none", 52)
+        t = max(a.snapshots)
+        assert np.array_equal(a.snapshots[t], b.snapshots[t])
+
+    def test_truncation_everywhere_perturbs_interface(self, bubble_workload):
+        ref = bubble_workload.run("none", 52)
+        low = bubble_workload.run("everywhere", 4)
+        assert low.runtime.ops.truncated > 0
+        assert low.interface_deviation(ref) > 0.0
+
+    def test_moderate_precision_closer_than_low_precision(self, bubble_workload):
+        ref = bubble_workload.run("none", 52)
+        low = bubble_workload.run("everywhere", 4)
+        mid = bubble_workload.run("everywhere", 12)
+        assert mid.interface_deviation(ref) <= low.interface_deviation(ref)
+
+    def test_cutoff_strategy_closer_than_everywhere(self, bubble_workload):
+        ref = bubble_workload.run("none", 52)
+        everywhere = bubble_workload.run("everywhere", 4)
+        cutoff = bubble_workload.run("cutoff-2", 4)
+        assert cutoff.interface_deviation(ref) <= everywhere.interface_deviation(ref) + 1e-12
+
+    def test_strategies_tuple_contents(self):
+        assert STRATEGIES == ("none", "everywhere", "cutoff-1", "cutoff-2")

@@ -1,0 +1,109 @@
+"""Integration tests for the Sedov and Sod workloads (fast configurations)."""
+import numpy as np
+import pytest
+
+from repro.core import AMRCutoffPolicy, GlobalPolicy, RaptorRuntime, TruncationConfig
+from repro.workloads import SedovConfig, SedovWorkload, SodConfig, SodWorkload
+
+
+def fast_sedov(**kwargs):
+    defaults = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2, t_end=0.02, rk_stages=1)
+    defaults.update(kwargs)
+    return SedovWorkload(SedovConfig(**defaults))
+
+
+def fast_sod(**kwargs):
+    defaults = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2, t_end=0.04, rk_stages=1)
+    defaults.update(kwargs)
+    return SodWorkload(SodConfig(**defaults))
+
+
+class TestSedovReference:
+    def test_initial_grid_refines_on_blast(self):
+        grid = fast_sedov().build_grid()
+        assert grid.finest_level == 2
+        assert grid.n_leaves > 4
+
+    def test_reference_run_produces_radial_shock(self):
+        wl = fast_sedov()
+        run = wl.reference()
+        pres = run.checkpoint["pres"]
+        assert np.all(np.isfinite(pres))
+        # pressure spreads outward: the peak is no longer confined to the center cell
+        assert wl.shock_radius(run) > wl.config.blast_radius
+        # symmetric in x and y
+        assert np.allclose(pres, pres[::-1, :], rtol=1e-6, atol=1e-8)
+        assert np.allclose(pres, pres[:, ::-1], rtol=1e-6, atol=1e-8)
+
+    def test_reference_counts_only_full_ops(self):
+        run = fast_sedov().reference()
+        assert run.runtime.ops.full > 0
+        assert run.runtime.ops.truncated == 0
+        assert run.truncated_fraction == 0.0
+
+    def test_checkpoint_shape_matches_max_level(self):
+        wl = fast_sedov()
+        run = wl.reference()
+        assert run.checkpoint["dens"].shape == wl.config.finest_cells
+
+
+class TestSodReference:
+    def test_shock_moves_right_and_rarefaction_left(self):
+        wl = fast_sod()
+        run = wl.reference()
+        dens = run.checkpoint["dens"]
+        x, _ = run.grid.uniform_coordinates(wl.config.max_level)
+        profile = dens.mean(axis=1)
+        # undisturbed far left and far right states
+        assert profile[0] == pytest.approx(1.0, abs=0.05)
+        assert profile[-1] == pytest.approx(0.125, abs=0.02)
+        # shock has moved right of the interface
+        assert wl.shock_position(run) > wl.config.interface_position
+        velx = run.checkpoint["velx"].mean(axis=1)
+        assert np.max(velx) > 0.1
+
+    def test_solution_uniform_along_y(self):
+        run = fast_sod().reference()
+        dens = run.checkpoint["dens"]
+        assert np.max(np.std(dens, axis=1)) < 1e-8
+
+
+class TestTruncatedRuns:
+    def test_global_truncation_increases_error_as_mantissa_shrinks(self):
+        wl = fast_sedov()
+        ref = wl.reference()
+        errors = {}
+        for man in (6, 20):
+            rt = RaptorRuntime()
+            policy = GlobalPolicy(TruncationConfig.mantissa(man, exp_bits=11), runtime=rt)
+            run = wl.run(policy=policy, runtime=rt)
+            errors[man] = run.l1_error(ref, "dens")
+        assert errors[6] > errors[20] > 0.0
+
+    def test_amr_cutoff_reduces_error_and_truncated_fraction(self):
+        wl = fast_sedov(max_level=3, t_end=0.015)
+        ref = wl.reference()
+
+        def run_cutoff(cutoff):
+            rt = RaptorRuntime()
+            policy = AMRCutoffPolicy(
+                TruncationConfig.mantissa(8, exp_bits=11), cutoff=cutoff, modules=["hydro"], runtime=rt
+            )
+            run = wl.run(policy=policy, runtime=rt)
+            return run.l1_error(ref, "dens"), run.truncated_fraction
+
+        err_m0, frac_m0 = run_cutoff(0)
+        err_m1, frac_m1 = run_cutoff(1)
+        assert frac_m1 < frac_m0
+        assert err_m1 <= err_m0 * 1.05  # excluding the finest level must not hurt
+
+    def test_sod_truncated_run_reports_counts(self):
+        wl = fast_sod()
+        rt = RaptorRuntime()
+        policy = GlobalPolicy(TruncationConfig.mantissa(10, exp_bits=8), runtime=rt)
+        run = wl.run(policy=policy, runtime=rt)
+        assert run.truncated_fraction > 0.5
+        gf_trunc, gf_full = run.giga_flops()
+        assert gf_trunc > 0
+        errors = run.errors(wl.reference(), ("dens", "velx"))
+        assert set(errors) == {"dens", "velx"}
