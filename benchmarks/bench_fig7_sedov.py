@@ -5,6 +5,12 @@ sweep of mantissa widths; the L1 error of the density field against the
 full-precision reference (sfocu) and the truncated / full operation counts
 are reported, reproducing the panels of Figure 7a.
 
+The sweep runs through the declarative engine of :mod:`repro.experiments`
+(grid: one workload × cutoff policies × mantissa formats); the reported
+numbers are identical to the pre-engine hand-written loop because the
+per-point protocol — reference run, truncated run, sfocu comparison — is
+unchanged.
+
 Expected shape (paper): excluding the finest AMR level (M−1) drops the error
 by many orders of magnitude for small mantissas, and the truncated share of
 the operations shrinks as the cutoff is coarsened.
@@ -13,53 +19,54 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import AMRCutoffPolicy, RaptorRuntime, TruncationConfig
-from repro.workloads import SedovConfig, SedovWorkload
+from repro.core import FPFormat
+from repro.experiments import PolicySpec, SweepSpec, run_sweep
 
 from conftest import MANTISSA_POINTS, print_table, save_results
 
 CUTOFFS = (0, 1, 2, 3)
 
-
-def _workload() -> SedovWorkload:
-    return SedovWorkload(
-        SedovConfig(
-            nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3,
-            t_end=0.02, rk_stages=1, reconstruction="plm",
-        )
-    )
+SEDOV_CONFIG = dict(
+    nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3,
+    t_end=0.02, rk_stages=1, reconstruction="plm",
+)
 
 
 def run_experiment():
-    workload = _workload()
-    reference = workload.reference()
+    spec = SweepSpec(
+        workloads=["sedov"],
+        formats=[FPFormat(11, man_bits) for man_bits in MANTISSA_POINTS],
+        policies=[PolicySpec.amr_cutoff(cutoff, modules=("hydro",)) for cutoff in CUTOFFS],
+        workload_configs={"sedov": SEDOV_CONFIG},
+        variables=("dens",),
+    )
+    result = run_sweep(spec)
+
     rows = []
     series = {}
+    point_iter = iter(result.points)
     for cutoff in CUTOFFS:
         series[cutoff] = []
         for man_bits in MANTISSA_POINTS:
-            runtime = RaptorRuntime(f"sedov-m{cutoff}-{man_bits}")
-            policy = AMRCutoffPolicy(
-                TruncationConfig.mantissa(man_bits, exp_bits=11),
-                cutoff=cutoff,
-                modules=["hydro"],
-                runtime=runtime,
-            )
-            run = workload.run(policy=policy, runtime=runtime)
-            error = run.l1_error(reference, "dens")
-            gflops_trunc, gflops_full = run.giga_flops()
+            point = next(point_iter)
+            # the grid enumerates policy-major/format-minor; make the row
+            # labelling self-checking rather than trusting iteration order
+            assert point.policy == f"M-{cutoff}[hydro]", point.policy
+            assert point.fmt.man_bits == man_bits, (point.fmt, man_bits)
+            error = point.l1("dens")
+            gflops_trunc, gflops_full = point.giga_ops
             record = {
                 "cutoff": f"M-{cutoff}",
                 "man_bits": man_bits,
                 "l1_dens": error,
-                "truncated_fraction": run.truncated_fraction,
+                "truncated_fraction": point.truncated_fraction,
                 "giga_ops_truncated": gflops_trunc,
                 "giga_ops_full": gflops_full,
-                "n_leaves": run.info["n_leaves"],
+                "n_leaves": point.info["n_leaves"],
             }
             series[cutoff].append(record)
             rows.append(
-                [f"M-{cutoff}", man_bits, f"{error:.3e}", f"{run.truncated_fraction:.1%}",
+                [f"M-{cutoff}", man_bits, f"{error:.3e}", f"{point.truncated_fraction:.1%}",
                  f"{gflops_trunc:.4f}", f"{gflops_full:.4f}"]
             )
     return rows, series

@@ -2,7 +2,8 @@
 
 Same protocol as Figure 7a but for the Sod shock tube and cutoffs M−0 … M−2
 (the paper's Sod figure has one panel fewer because no leaf blocks remain at
-the M−3 level).
+the M−3 level).  Like Figure 7a, the sweep runs through the declarative
+engine of :mod:`repro.experiments` with unchanged reported numbers.
 
 Expected shape (paper): the cutoff strategy helps Sod much less than Sedov —
 at most about an order of magnitude — because the solution profile stretches
@@ -12,55 +13,56 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import AMRCutoffPolicy, RaptorRuntime, TruncationConfig
-from repro.workloads import SodConfig, SodWorkload
+from repro.core import FPFormat
+from repro.experiments import PolicySpec, SweepSpec, run_sweep
 
 from conftest import MANTISSA_POINTS, print_table, save_results
 
 CUTOFFS = (0, 1, 2)
 
-
-def _workload() -> SodWorkload:
-    return SodWorkload(
-        SodConfig(
-            nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3,
-            t_end=0.04, rk_stages=1, reconstruction="plm",
-        )
-    )
+SOD_CONFIG = dict(
+    nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3,
+    t_end=0.04, rk_stages=1, reconstruction="plm",
+)
 
 
 def run_experiment():
-    workload = _workload()
-    reference = workload.reference()
+    spec = SweepSpec(
+        workloads=["sod"],
+        formats=[FPFormat(11, man_bits) for man_bits in MANTISSA_POINTS],
+        policies=[PolicySpec.amr_cutoff(cutoff, modules=("hydro",)) for cutoff in CUTOFFS],
+        workload_configs={"sod": SOD_CONFIG},
+        variables=("dens",),
+    )
+    result = run_sweep(spec)
+
     rows = []
     series = {}
+    point_iter = iter(result.points)
     for cutoff in CUTOFFS:
         series[cutoff] = []
         for man_bits in MANTISSA_POINTS:
-            runtime = RaptorRuntime(f"sod-m{cutoff}-{man_bits}")
-            policy = AMRCutoffPolicy(
-                TruncationConfig.mantissa(man_bits, exp_bits=11),
-                cutoff=cutoff,
-                modules=["hydro"],
-                runtime=runtime,
-            )
-            run = workload.run(policy=policy, runtime=runtime)
-            error = run.l1_error(reference, "dens")
-            gflops_trunc, gflops_full = run.giga_flops()
+            point = next(point_iter)
+            # the grid enumerates policy-major/format-minor; make the row
+            # labelling self-checking rather than trusting iteration order
+            assert point.policy == f"M-{cutoff}[hydro]", point.policy
+            assert point.fmt.man_bits == man_bits, (point.fmt, man_bits)
+            error = point.l1("dens")
+            gflops_trunc, gflops_full = point.giga_ops
             record = {
                 "cutoff": f"M-{cutoff}",
                 "man_bits": man_bits,
                 "l1_dens": error,
-                "truncated_fraction": run.truncated_fraction,
+                "truncated_fraction": point.truncated_fraction,
                 "giga_ops_truncated": gflops_trunc,
                 "giga_ops_full": gflops_full,
-                "truncated_bytes": run.runtime.mem.truncated,
-                "full_bytes": run.runtime.mem.full,
-                "n_leaves": run.info["n_leaves"],
+                "truncated_bytes": point.mem["truncated"],
+                "full_bytes": point.mem["full"],
+                "n_leaves": point.info["n_leaves"],
             }
             series[cutoff].append(record)
             rows.append(
-                [f"M-{cutoff}", man_bits, f"{error:.3e}", f"{run.truncated_fraction:.1%}",
+                [f"M-{cutoff}", man_bits, f"{error:.3e}", f"{point.truncated_fraction:.1%}",
                  f"{gflops_trunc:.4f}", f"{gflops_full:.4f}"]
             )
     return rows, series

@@ -1,0 +1,103 @@
+"""Precision-sweep quickstart: the whole experimental loop in one call.
+
+Sweeps the instability workloads across truncated formats through the
+declarative engine — reference runs, truncated runs, sfocu error norms and
+operation-counter roll-ups included — and prints the result table:
+
+    PYTHONPATH=src python examples/sweep_quickstart.py
+
+Useful variations::
+
+    # the full instability suite on all four standard formats, in parallel
+    python examples/sweep_quickstart.py \
+        --workloads kh,rt,double-blast --formats fp64,fp32,bf16,fp16 \
+        --backend process
+
+    # CI smoke configuration (small grid, two formats)
+    python examples/sweep_quickstart.py --workloads kh --formats fp32,bf16 \
+        --max-level 2 --t-end 0.005 --backend process
+"""
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.core import format_table
+from repro.experiments import PolicySpec, SweepSpec, run_sweep
+from repro.workloads import available_workloads
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workloads",
+        default="kh,rt,double-blast",
+        help="comma-separated registry names (known: %s)" % ", ".join(available_workloads()),
+    )
+    parser.add_argument(
+        "--formats",
+        default="fp64,fp32,bf16,fp16",
+        help="comma-separated formats (standard names or eXmY specs)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="global",
+        choices=["global", "m-1", "m-2"],
+        help="truncation policy applied to the hydro module",
+    )
+    parser.add_argument("--backend", default="serial", choices=["serial", "process"])
+    parser.add_argument("--max-workers", type=int, default=None)
+    parser.add_argument("--max-level", type=int, default=3, help="AMR levels (8x8 blocks)")
+    parser.add_argument("--t-end", type=float, default=None, help="override simulated end time")
+    parser.add_argument("--json", action="store_true", help="emit the result as JSON")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+    policy = {
+        "global": PolicySpec.everywhere(modules=("hydro",)),
+        "m-1": PolicySpec.amr_cutoff(1, modules=("hydro",)),
+        "m-2": PolicySpec.amr_cutoff(2, modules=("hydro",)),
+    }[args.policy]
+
+    config = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2,
+                  max_level=args.max_level, rk_stages=1)
+    if args.t_end is not None:
+        config["t_end"] = args.t_end
+
+    spec = SweepSpec(
+        workloads=workloads,
+        formats=formats,
+        policies=[policy],
+        workload_configs={name: dict(config) for name in workloads},
+        variables=("dens", "pres"),
+        backend=args.backend,
+        max_workers=args.max_workers,
+    )
+    result = run_sweep(spec)
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return
+
+    print(f"\n=== precision sweep: {len(result)} points on the {args.backend} backend ===")
+    print(result.table("dens"))
+
+    rollup = result.rollup()
+    gtrunc, gfull = rollup.giga_flops()
+    print(
+        format_table(
+            ["counter", "truncated", "full"],
+            [
+                ["scalar ops (1e9)", f"{gtrunc:.4f}", f"{gfull:.4f}"],
+                ["bytes moved", str(rollup.mem.truncated), str(rollup.mem.full)],
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -65,7 +65,9 @@ class AMRGrid:
     ng:
         Guard-cell width (3 supports the WENO5 stencil).
     boundary:
-        "outflow" (zero gradient), "periodic", or "reflect".
+        "outflow" (zero gradient), "periodic", or "reflect" — applied to both
+        axes — or a mapping ``{"x": kind, "y": kind}`` for mixed boundaries
+        (e.g. the Rayleigh–Taylor box: periodic in x, reflecting walls in y).
     reflect_vars:
         For reflecting boundaries: mapping direction ('x' or 'y') to the
         variable whose sign flips across that boundary (normal velocity).
@@ -82,7 +84,7 @@ class AMRGrid:
         n_root_y: int = 1,
         max_level: int = 3,
         ng: int = 3,
-        boundary: str = "outflow",
+        boundary="outflow",
         reflect_vars: Optional[Dict[str, str]] = None,
     ) -> None:
         if nxb % 2 or nyb % 2:
@@ -91,8 +93,20 @@ class AMRGrid:
             raise ValueError("blocks must hold at least 2*ng interior cells per direction")
         if max_level < 1:
             raise ValueError("max_level must be >= 1")
-        if boundary not in ("outflow", "periodic", "reflect"):
-            raise ValueError(f"unknown boundary condition {boundary!r}")
+        if isinstance(boundary, str):
+            boundary_x = boundary_y = boundary
+        else:
+            try:
+                boundary_x = boundary["x"]
+                boundary_y = boundary["y"]
+            except (TypeError, KeyError):
+                raise ValueError(
+                    "boundary must be a string or a mapping with 'x' and 'y' keys, "
+                    f"got {boundary!r}"
+                ) from None
+        for kind in (boundary_x, boundary_y):
+            if kind not in ("outflow", "periodic", "reflect"):
+                raise ValueError(f"unknown boundary condition {kind!r}")
 
         self.variables = list(variables)
         self.xlim = (float(xlim[0]), float(xlim[1]))
@@ -103,7 +117,10 @@ class AMRGrid:
         self.n_root_y = int(n_root_y)
         self.max_level = int(max_level)
         self.ng = int(ng)
+        #: the original constructor argument (string or per-axis mapping)
         self.boundary = boundary
+        self.boundary_x = boundary_x
+        self.boundary_y = boundary_y
         self.reflect_vars = reflect_vars or {"x": "velx", "y": "vely"}
 
         self.leaves: Dict[BlockKey, Block] = {}
@@ -199,11 +216,15 @@ class AMRGrid:
     # ------------------------------------------------------------------
     def _wrap_index(self, level: int, nix: int, niy: int) -> Optional[Tuple[int, int]]:
         nbx, nby = self.blocks_along_x(level), self.blocks_along_y(level)
-        if self.boundary == "periodic":
-            return nix % nbx, niy % nby
-        if 0 <= nix < nbx and 0 <= niy < nby:
-            return nix, niy
-        return None
+        if self.boundary_x == "periodic":
+            nix %= nbx
+        elif not 0 <= nix < nbx:
+            return None
+        if self.boundary_y == "periodic":
+            niy %= nby
+        elif not 0 <= niy < nby:
+            return None
+        return nix, niy
 
     def neighbor(self, key: BlockKey, side: str) -> Tuple[str, object]:
         """Locate the neighbour of a leaf across ``side``.
@@ -313,7 +334,7 @@ class AMRGrid:
         data = block.data[name]
         if side in ("-x", "+x"):
             edge = data[ng, ng:ng + nyb] if side == "-x" else data[ng + nxb - 1, ng:ng + nyb]
-            if self.boundary == "outflow":
+            if self.boundary_x == "outflow":
                 return np.tile(edge, (ng, 1))
             # reflect
             if side == "-x":
@@ -324,7 +345,7 @@ class AMRGrid:
                 strip = -strip
             return strip
         edge = data[ng:ng + nxb, ng] if side == "-y" else data[ng:ng + nxb, ng + nyb - 1]
-        if self.boundary == "outflow":
+        if self.boundary_y == "outflow":
             return np.tile(edge[:, None], (1, ng))
         if side == "-y":
             strip = data[ng:ng + nxb, ng:2 * ng][:, ::-1].copy()

@@ -204,24 +204,77 @@ class RaptorRuntime:
             self.registry.clear()
 
     def snapshot(self) -> dict:
-        """A plain-dict snapshot suitable for serialisation."""
-        return {
-            "name": self.name,
-            "ops": {"truncated": self.ops.truncated, "full": self.ops.full},
-            "mem": {"truncated": self.mem.truncated, "full": self.mem.full},
-            "locations": [
+        """A plain-dict snapshot suitable for serialisation.
+
+        The snapshot is self-contained (plain ints/floats/strings only) so it
+        can cross process boundaries; :meth:`merge_snapshot` reconstructs and
+        accumulates it into another runtime, which is how the sweep engine
+        rolls worker-process counters up into a single profile.
+        """
+        # everything is read under one lock so concurrent updates cannot
+        # produce a snapshot whose ops / modules / locations disagree
+        with self._lock:
+            modules = {
+                name: {"truncated": c.truncated, "full": c.full}
+                for name, c in self._per_module_ops.items()
+            }
+            ops = {"truncated": self.ops.truncated, "full": self.ops.full}
+            mem = {"truncated": self.mem.truncated, "full": self.mem.full}
+            locations = [
                 {
                     "location": loc.short(),
+                    "filename": loc.filename,
+                    "lineno": loc.lineno,
+                    "label": loc.label,
                     "count": st.count,
                     "flagged": st.flagged,
+                    "sum_abs_err": st.sum_abs_err,
                     "mean_abs_err": st.mean_abs_err,
                     "max_abs_err": st.max_abs_err,
+                    "sum_rel_err": st.sum_rel_err,
                     "mean_rel_err": st.mean_rel_err,
                     "max_rel_err": st.max_rel_err,
                 }
                 for loc, st in self.location_stats()
-            ],
+            ]
+        return {
+            "name": self.name,
+            "ops": ops,
+            "mem": mem,
+            "modules": modules,
+            "locations": locations,
         }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Accumulate a :meth:`snapshot` produced elsewhere (typically in a
+        worker process) into this runtime's counters and statistics."""
+        ops = snap.get("ops", {})
+        mem = snap.get("mem", {})
+        with self._lock:
+            self.ops.truncated += int(ops.get("truncated", 0))
+            self.ops.full += int(ops.get("full", 0))
+            self.mem.truncated += int(mem.get("truncated", 0))
+            self.mem.full += int(mem.get("full", 0))
+            for name, counters in snap.get("modules", {}).items():
+                mod = self._per_module_ops.setdefault(name, OpCounters())
+                mod.truncated += int(counters.get("truncated", 0))
+                mod.full += int(counters.get("full", 0))
+            for entry in snap.get("locations", []):
+                loc = SourceLocation(
+                    entry.get("filename", "<unknown>"),
+                    int(entry.get("lineno", 0)),
+                    entry.get("label", ""),
+                )
+                ident = self.registry.intern(loc)
+                stats = self._per_location.setdefault(ident, OpStats())
+                stats.update(
+                    entry.get("count", 0),
+                    entry.get("sum_abs_err", 0.0),
+                    entry.get("max_abs_err", 0.0),
+                    entry.get("sum_rel_err", 0.0),
+                    entry.get("max_rel_err", 0.0),
+                    entry.get("flagged", 0),
+                )
 
 
 _default_runtime = RaptorRuntime()

@@ -13,7 +13,8 @@ mem-mode uses for per-value bookkeeping of scalars.
 from __future__ import annotations
 
 import math
-from typing import Callable, Union
+import numbers
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -26,9 +27,35 @@ Number = Union[int, float, "EmulatedFloat"]
 
 
 def _coerce(value: Number) -> float:
+    """Convert an arithmetic/comparison operand to its binary64 payload.
+
+    Accepts :class:`EmulatedFloat` and any real number (Python ints/floats,
+    numpy scalars such as ``np.float32`` / ``np.int64``, fractions, …).
+    Non-numeric operands raise ``TypeError`` — notably strings, which
+    ``float()`` would happily parse.
+    """
     if isinstance(value, EmulatedFloat):
         return value.value
-    return float(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    # anything exposing __float__ (0-d numpy arrays, Decimal, ...) is a
+    # legitimate numeric operand; strings are not — float("1.5") parses via
+    # the constructor, not __float__, and must stay rejected
+    if getattr(type(value), "__float__", None) is not None:
+        return float(value)
+    raise TypeError(
+        f"cannot use {type(value).__name__!r} as an EmulatedFloat operand"
+    )
+
+
+def _try_coerce(value: object) -> Optional[float]:
+    """Comparison-operand coercion: like :func:`_coerce` but signals an
+    incompatible operand with ``None`` so dunder methods can return
+    ``NotImplemented`` instead of raising."""
+    try:
+        return _coerce(value)  # type: ignore[arg-type]
+    except TypeError:
+        return None
 
 
 class EmulatedFloat:
@@ -76,11 +103,20 @@ class EmulatedFloat:
         return out
 
     # -- arithmetic ----------------------------------------------------------
-    def _binop(self, other: Number, op: Callable[[float, float], float]) -> "EmulatedFloat":
-        return self._make(op(self._value, _coerce(other)))
+    # like the comparisons, arithmetic returns NotImplemented for operands it
+    # cannot coerce, so reflected implementations on the other type get their
+    # chance and Python raises its standard unsupported-operand TypeError
+    def _binop(self, other: Number, op: Callable[[float, float], float]):
+        coerced = _try_coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self._make(op(self._value, coerced))
 
-    def _rbinop(self, other: Number, op: Callable[[float, float], float]) -> "EmulatedFloat":
-        return self._make(op(_coerce(other), self._value))
+    def _rbinop(self, other: Number, op: Callable[[float, float], float]):
+        coerced = _try_coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self._make(op(coerced, self._value))
 
     def __add__(self, other: Number) -> "EmulatedFloat":
         return self._binop(other, lambda a, b: a + b)
@@ -114,26 +150,44 @@ class EmulatedFloat:
         return self._make(abs(self._value))
 
     # -- comparisons (exact, on the emulated payloads) ------------------------
+    # Every comparison coerces the other operand through the same _coerce
+    # path as arithmetic, so raw ints/floats and numpy scalars (np.float32,
+    # np.int64, ...) compare consistently with how they combine in _binop;
+    # incompatible operands yield NotImplemented and fall back to Python's
+    # default handling instead of raising from inside float().
     def __eq__(self, other: object) -> bool:
-        if isinstance(other, (int, float, EmulatedFloat)):
-            return self._value == _coerce(other)
-        return NotImplemented
+        coerced = _try_coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self._value == coerced
 
     def __ne__(self, other: object) -> bool:
         eq = self.__eq__(other)
         return NotImplemented if eq is NotImplemented else not eq
 
     def __lt__(self, other: Number) -> bool:
-        return self._value < _coerce(other)
+        coerced = _try_coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self._value < coerced
 
     def __le__(self, other: Number) -> bool:
-        return self._value <= _coerce(other)
+        coerced = _try_coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self._value <= coerced
 
     def __gt__(self, other: Number) -> bool:
-        return self._value > _coerce(other)
+        coerced = _try_coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self._value > coerced
 
     def __ge__(self, other: Number) -> bool:
-        return self._value >= _coerce(other)
+        coerced = _try_coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self._value >= coerced
 
     def __hash__(self) -> int:
         return hash(self._value)

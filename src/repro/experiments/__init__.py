@@ -1,0 +1,33 @@
+"""Declarative precision-sweep experiments.
+
+The paper's central experimental loop — sweep truncated floating-point
+formats across whole simulations and per-module regions, measure the error
+against a full-precision reference, and count the truncated / full
+operations — is packaged here as a reusable engine:
+
+>>> from repro.experiments import SweepSpec, PolicySpec, run_sweep
+>>> result = run_sweep(SweepSpec(
+...     workloads=["kelvin-helmholtz", "sedov"],
+...     formats=["fp64", "fp32", "bf16", "fp16"],
+...     policies=[PolicySpec.amr_cutoff(1, modules=("hydro",))],
+...     backend="process",
+... ))
+>>> print(result.table())
+
+See ``docs/experiments.md`` for the full protocol, including how to add a
+workload to the registry.
+"""
+from .engine import PointResult, ReferenceResult, SweepResult, run_sweep
+from .spec import PolicySpec, SweepPoint, SweepSpec, format_label, resolve_format
+
+__all__ = [
+    "SweepSpec",
+    "SweepPoint",
+    "PolicySpec",
+    "PointResult",
+    "ReferenceResult",
+    "SweepResult",
+    "run_sweep",
+    "resolve_format",
+    "format_label",
+]

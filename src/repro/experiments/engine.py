@@ -1,0 +1,304 @@
+"""The precision-sweep engine: ``SweepSpec`` → ``SweepResult``.
+
+The engine expands a :class:`~repro.experiments.spec.SweepSpec` into a grid
+of sweep points (workload × policy × format), runs one full-precision
+reference per workload, executes every point against that reference, and
+rolls the per-point operation / memory counters up into a single profile.
+
+Execution goes through :mod:`repro.parallel.executor`; because each point is
+a pure function of its task description, the serial and process-pool
+backends produce identical results point for point, and results always come
+back in grid order.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fpformat import FPFormat
+from ..core.report import format_table
+from ..core.runtime import RaptorRuntime
+from ..io.checkpoint import Checkpoint
+from ..io.sfocu import compare
+from ..parallel.executor import run_tasks
+from ..workloads.registry import create_workload
+from .spec import PolicySpec, SweepPoint, SweepSpec, format_label
+
+__all__ = ["PointResult", "ReferenceResult", "SweepResult", "run_sweep"]
+
+
+# ---------------------------------------------------------------------------
+# task payloads (picklable; shipped to worker processes)
+# ---------------------------------------------------------------------------
+@dataclass
+class _ReferenceTask:
+    workload: str
+    config_kwargs: Dict[str, object]
+
+
+@dataclass
+class _PointTask:
+    point: SweepPoint
+    config_kwargs: Dict[str, object]
+    variables: Tuple[str, ...]
+    rounding: str
+    reference_state: Dict[str, np.ndarray]
+    reference_time: float
+    keep_state: bool
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+@dataclass
+class ReferenceResult:
+    """Full-precision reference run of one workload."""
+
+    workload: str
+    info: Dict[str, float]
+    runtime_snapshot: dict
+    state: Dict[str, np.ndarray]
+    time: float
+
+    def checkpoint(self) -> Checkpoint:
+        return Checkpoint.from_arrays(self.state, time=self.time)
+
+
+@dataclass
+class PointResult:
+    """Error metrics and counter roll-up of one sweep point."""
+
+    index: int
+    workload: str
+    format_name: str
+    fmt: FPFormat
+    policy: str
+    errors: Dict[str, Dict[str, float]]
+    truncated_fraction: float
+    ops: Dict[str, int]
+    mem: Dict[str, int]
+    module_ops: Dict[str, Dict[str, int]]
+    info: Dict[str, float]
+    runtime_snapshot: dict = field(repr=False)
+    state: Optional[Dict[str, np.ndarray]] = field(default=None, repr=False)
+
+    def l1(self, variable: str = "dens") -> float:
+        return self.errors[variable]["l1"]
+
+    def linf(self, variable: str = "dens") -> float:
+        return self.errors[variable]["linf"]
+
+    @property
+    def giga_ops(self) -> Tuple[float, float]:
+        """(truncated, full) scalar-operation counts in units of 1e9."""
+        return self.ops["truncated"] / 1e9, self.ops["full"] / 1e9
+
+    def metrics_key(self) -> tuple:
+        """Everything that must match bit-for-bit across backends."""
+        return (
+            self.index,
+            self.workload,
+            self.format_name,
+            self.policy,
+            tuple(sorted((v, tuple(sorted(norms.items()))) for v, norms in self.errors.items())),
+            self.truncated_fraction,
+            tuple(sorted(self.ops.items())),
+            tuple(sorted(self.mem.items())),
+            tuple(
+                (module, tuple(sorted(counters.items())))
+                for module, counters in sorted(self.module_ops.items())
+            ),
+            tuple(sorted(self.info.items())),
+        )
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep, in grid order, plus per-workload references."""
+
+    spec: SweepSpec
+    points: List[PointResult]
+    references: Dict[str, ReferenceResult]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def select(
+        self,
+        workload: Optional[str] = None,
+        fmt: Optional[str] = None,
+        policy: Optional[str] = None,
+    ) -> List[PointResult]:
+        """Points matching the given workload name / format label / policy
+        description (all optional)."""
+        out = []
+        for p in self.points:
+            if workload is not None and p.workload != workload:
+                continue
+            if fmt is not None and p.format_name != fmt:
+                continue
+            if policy is not None and p.policy != policy:
+                continue
+            out.append(p)
+        return out
+
+    def rollup(self) -> RaptorRuntime:
+        """Merged op/mem counters over all points (references excluded)."""
+        total = RaptorRuntime("sweep-rollup")
+        for p in self.points:
+            total.merge_snapshot(p.runtime_snapshot)
+        return total
+
+    def table(self, variable: str = "dens") -> str:
+        """Human-readable summary table of the sweep."""
+        rows = []
+        for p in self.points:
+            rows.append(
+                [
+                    p.workload,
+                    p.policy,
+                    p.format_name,
+                    f"{p.l1(variable):.3e}" if variable in p.errors else "n/a",
+                    f"{p.truncated_fraction:.1%}",
+                    f"{p.giga_ops[0]:.4f}",
+                    f"{p.giga_ops[1]:.4f}",
+                ]
+            )
+        return format_table(
+            ["workload", "policy", "format", f"L1({variable})", "trunc ops", "Gops trunc", "Gops full"],
+            rows,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (states and snapshots omitted)."""
+        return {
+            "workloads": list(self.spec.workloads),
+            "formats": [format_label(f) for f in self.spec.resolved_formats()],
+            "policies": [p.describe() for p in self.spec.policies],
+            "backend": self.spec.backend,
+            "points": [
+                {
+                    "index": p.index,
+                    "workload": p.workload,
+                    "format": p.format_name,
+                    "policy": p.policy,
+                    "errors": p.errors,
+                    "truncated_fraction": p.truncated_fraction,
+                    "ops": p.ops,
+                    "mem": p.mem,
+                    "info": p.info,
+                }
+                for p in self.points
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# task execution (module-level so tasks pickle under every start method)
+# ---------------------------------------------------------------------------
+def _execute_reference(task: _ReferenceTask) -> ReferenceResult:
+    workload = create_workload(task.workload, **task.config_kwargs)
+    run = workload.reference()
+    state = {name: np.asarray(run.checkpoint[name]) for name in run.checkpoint.variables()}
+    return ReferenceResult(
+        workload=task.workload,
+        info=dict(run.info),
+        runtime_snapshot=run.runtime.snapshot(),
+        state=state,
+        time=run.checkpoint.time,
+    )
+
+
+def _execute_point(task: _PointTask) -> PointResult:
+    point = task.point
+    workload = create_workload(point.workload, **task.config_kwargs)
+    runtime = RaptorRuntime(f"{point.workload}-{point.format_name}-{point.policy.describe()}")
+    policy = point.policy.build(point.fmt, runtime, rounding=task.rounding)
+    run = workload.run(policy=policy, runtime=runtime)
+
+    reference = Checkpoint.from_arrays(task.reference_state, time=task.reference_time)
+    report = compare(run.checkpoint, reference, list(task.variables))
+    errors = {
+        name: {
+            "l1": report[name].l1,
+            "l2": report[name].l2,
+            "linf": report[name].linf,
+        }
+        for name in task.variables
+    }
+
+    # the snapshot is the single source of the counters; PointResult's
+    # ops/mem/module_ops fields alias into it so they cannot desynchronize
+    snapshot = runtime.snapshot()
+    return PointResult(
+        index=point.index,
+        workload=point.workload,
+        format_name=point.format_name,
+        fmt=point.fmt,
+        policy=point.policy.describe(),
+        errors=errors,
+        truncated_fraction=runtime.ops.truncated_fraction,
+        ops=snapshot["ops"],
+        mem=snapshot["mem"],
+        module_ops=snapshot["modules"],
+        info=dict(run.info),
+        runtime_snapshot=snapshot,
+        state=(
+            {name: np.asarray(run.checkpoint[name]) for name in run.checkpoint.variables()}
+            if task.keep_state
+            else None
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Execute a precision sweep described by ``spec``.
+
+    Phase 1 runs the full-precision reference of every workload; phase 2
+    fans the sweep points out over the chosen backend, comparing each
+    truncated run against its workload's reference.  Results come back in
+    the deterministic grid order of :meth:`SweepSpec.points`.
+    """
+    spec.validate()
+    points = spec.points()
+
+    reference_tasks = [
+        _ReferenceTask(workload=name, config_kwargs=spec.config_kwargs(name))
+        for name in spec.workloads
+    ]
+    references = {
+        ref.workload: ref
+        for ref in run_tasks(
+            _execute_reference, reference_tasks, backend=spec.backend, max_workers=spec.max_workers
+        )
+    }
+
+    # every task carries its workload's reference arrays; at the checkpoint
+    # sizes these experiments use (tens to hundreds of KB) re-pickling the
+    # reference per point is cheaper than coordinating a per-worker cache —
+    # revisit if sweeps move to large grids (see ROADMAP: sharding/caching)
+    point_tasks = [
+        _PointTask(
+            point=point,
+            config_kwargs=spec.config_kwargs(point.workload),
+            variables=spec.variables,
+            rounding=spec.rounding,
+            reference_state=references[point.workload].state,
+            reference_time=references[point.workload].time,
+            keep_state=spec.keep_states,
+        )
+        for point in points
+    ]
+    results = run_tasks(
+        _execute_point, point_tasks, backend=spec.backend, max_workers=spec.max_workers
+    )
+    return SweepResult(spec=spec, points=list(results), references=references)

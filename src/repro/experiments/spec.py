@@ -1,0 +1,296 @@
+"""Declarative description of a precision sweep.
+
+A :class:`SweepSpec` names *what* to sweep — workloads (by registry name),
+target floating-point formats, and truncation policies — and *how* to run it
+(error variables, rounding mode, execution backend).  The engine in
+:mod:`repro.experiments.engine` expands the spec into a deterministic grid of
+:class:`SweepPoint` s and executes them.
+
+Everything here is picklable by construction so sweep points can cross
+process boundaries untouched.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.config import TruncationConfig
+from ..core.fpformat import FPFormat, STANDARD_FORMATS
+from ..core.quantize import RoundingMode
+from ..core.runtime import RaptorRuntime
+from ..core.selective import (
+    AMRCutoffPolicy,
+    GlobalPolicy,
+    ModulePolicy,
+    NoTruncationPolicy,
+    TruncationPolicy,
+)
+
+__all__ = ["PolicySpec", "SweepPoint", "SweepSpec", "resolve_format", "format_label"]
+
+_POLICY_KINDS = ("none", "global", "amr-cutoff", "module")
+
+
+def resolve_format(fmt: Union[str, FPFormat]) -> FPFormat:
+    """Resolve a format given as an :class:`FPFormat`, a standard name
+    ("fp64", "bf16", …) or an ``eXmY`` spec string ("e11m18")."""
+    if isinstance(fmt, FPFormat):
+        return fmt
+    if not isinstance(fmt, str):
+        raise TypeError(f"format must be an FPFormat or a string, got {type(fmt).__name__}")
+    key = fmt.strip().lower()
+    if key in STANDARD_FORMATS:
+        return STANDARD_FORMATS[key]
+    if key.startswith("e") and "m" in key:
+        exp_part, _, man_part = key[1:].partition("m")
+        try:
+            return FPFormat(int(exp_part), int(man_part))
+        except ValueError:
+            pass
+    raise ValueError(
+        f"unknown format {fmt!r}; use one of {sorted(STANDARD_FORMATS)} or an "
+        "'e<exp>m<man>' spec such as 'e11m18'"
+    )
+
+
+def format_label(fmt: FPFormat) -> str:
+    """Short display name of a format."""
+    return fmt.name or f"e{fmt.exp_bits}m{fmt.man_bits}"
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Picklable recipe for a truncation policy.
+
+    ``kind`` is one of:
+
+    * ``"none"``       — full-precision reference behaviour,
+    * ``"global"``     — truncate everywhere (or all of ``modules``),
+    * ``"amr-cutoff"`` — the paper's M−``cutoff`` refinement-level strategy,
+    * ``"module"``     — truncate only the listed physics modules.
+
+    The target format is *not* part of the policy: the engine combines each
+    policy with each format of the sweep grid.
+    """
+
+    kind: str = "global"
+    cutoff: int = 0
+    modules: Optional[Tuple[str, ...]] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _POLICY_KINDS:
+            raise ValueError(f"unknown policy kind {self.kind!r}; choose from {_POLICY_KINDS}")
+        if self.cutoff < 0:
+            raise ValueError("cutoff must be >= 0")
+        if self.kind == "module" and not self.modules:
+            raise ValueError("policy kind 'module' requires a non-empty modules tuple")
+        if self.modules is not None:
+            object.__setattr__(self, "modules", tuple(self.modules))
+
+    # -- convenience constructors ------------------------------------------
+    @classmethod
+    def none(cls) -> "PolicySpec":
+        return cls(kind="none", label="none")
+
+    @classmethod
+    def everywhere(cls, modules: Optional[Sequence[str]] = None) -> "PolicySpec":
+        return cls(kind="global", modules=tuple(modules) if modules else None)
+
+    @classmethod
+    def amr_cutoff(cls, cutoff: int, modules: Optional[Sequence[str]] = None) -> "PolicySpec":
+        return cls(kind="amr-cutoff", cutoff=cutoff, modules=tuple(modules) if modules else None)
+
+    @classmethod
+    def module(cls, *modules: str) -> "PolicySpec":
+        return cls(kind="module", modules=tuple(modules))
+
+    # ----------------------------------------------------------------------
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        mods = f"[{','.join(self.modules)}]" if self.modules else ""
+        if self.kind == "none":
+            return "none"
+        if self.kind == "amr-cutoff":
+            return f"M-{self.cutoff}{mods}"
+        if self.kind == "module":
+            return f"module{mods}"
+        return f"global{mods}"
+
+    def build(
+        self,
+        fmt: FPFormat,
+        runtime: RaptorRuntime,
+        rounding: str = RoundingMode.NEAREST_EVEN,
+    ) -> TruncationPolicy:
+        """Materialise the policy for one sweep point."""
+        if self.kind == "none":
+            return NoTruncationPolicy(runtime=runtime)
+        config = TruncationConfig(targets={64: fmt}, rounding=rounding)
+        if self.kind == "amr-cutoff":
+            return AMRCutoffPolicy(config, cutoff=self.cutoff, modules=self.modules, runtime=runtime)
+        if self.kind == "module":
+            assert self.modules is not None
+            return ModulePolicy(config, modules=self.modules, runtime=runtime)
+        # "global": optionally restricted to modules
+        if self.modules:
+            return ModulePolicy(config, modules=self.modules, runtime=runtime)
+        return GlobalPolicy(config, runtime=runtime)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid, in deterministic enumeration order."""
+
+    index: int
+    workload: str
+    fmt: FPFormat
+    policy: PolicySpec
+
+    @property
+    def format_name(self) -> str:
+        return format_label(self.fmt)
+
+    def describe(self) -> str:
+        return f"{self.workload} @ {self.format_name} / {self.policy.describe()}"
+
+
+@dataclass
+class SweepSpec:
+    """Declarative precision sweep: workloads × formats × policies.
+
+    Parameters
+    ----------
+    workloads:
+        Registry names (or aliases) of the workloads to sweep.
+    formats:
+        Target formats — :class:`FPFormat` objects, standard names or
+        ``eXmY`` strings.
+    policies:
+        Truncation policies combined with every format.  Default: truncate
+        the hydro module everywhere.
+    workload_configs:
+        Per-workload overrides, keyed by the name used in ``workloads``;
+        values are keyword arguments for the workload's ``config_class``.
+    variables:
+        Checkpoint variables whose error norms (vs. the full-precision
+        reference) each point reports.
+    rounding:
+        Rounding mode of the truncated operations.
+    backend / max_workers:
+        Execution backend ("serial" or "process") and its worker cap.
+    keep_states:
+        Also return the final uniform-grid state of every point (larger
+        results; off by default).
+    """
+
+    workloads: Sequence[str] = ("sedov",)
+    formats: Sequence[Union[str, FPFormat]] = ("fp64", "fp32", "bf16", "fp16")
+    policies: Sequence[PolicySpec] = (PolicySpec(kind="global", modules=("hydro",)),)
+    workload_configs: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    variables: Tuple[str, ...] = ("dens",)
+    rounding: str = RoundingMode.NEAREST_EVEN
+    backend: str = "serial"
+    max_workers: Optional[int] = None
+    keep_states: bool = False
+
+    # ------------------------------------------------------------------
+    def resolved_formats(self) -> Tuple[FPFormat, ...]:
+        return tuple(resolve_format(f) for f in self.formats)
+
+    def validate(self) -> None:
+        """Check the spec before execution (fail fast, not in a worker)."""
+        from ..workloads.registry import canonical_name, get_workload_class
+
+        if not self.workloads:
+            raise ValueError("SweepSpec needs at least one workload")
+        if not self.formats:
+            raise ValueError("SweepSpec needs at least one format")
+        if not self.policies:
+            raise ValueError("SweepSpec needs at least one policy")
+        if self.rounding not in RoundingMode.ALL:
+            raise ValueError(f"unknown rounding mode {self.rounding!r}")
+        if not self.variables:
+            raise ValueError("SweepSpec needs at least one error variable")
+        from ..workloads.base import PRIMITIVE_VARS
+
+        unknown = [v for v in self.variables if v not in PRIMITIVE_VARS]
+        if unknown:
+            raise ValueError(
+                f"unknown error variable(s) {unknown}; compressible checkpoints "
+                f"carry {list(PRIMITIVE_VARS)}"
+            )
+        seen = set()
+        for name in self.workloads:
+            # resolve aliases so "kh" and "kelvin-helmholtz" count as the
+            # same workload; raises UnknownWorkloadError with the registry
+            # listing for unknown names
+            canonical = canonical_name(name)
+            if canonical in seen:
+                raise ValueError(
+                    f"duplicate workload {name!r} (canonical name {canonical!r}) in sweep"
+                )
+            seen.add(canonical)
+            cls = get_workload_class(name)
+            if not (hasattr(cls, "reference") and hasattr(cls, "run")):
+                raise ValueError(
+                    f"workload {name!r} ({cls.__qualname__}) does not implement the "
+                    "sweep protocol (reference() / run(policy=..., runtime=...)); "
+                    "it is registered for name-based lookup but cannot be swept yet"
+                )
+        self.resolved_formats()
+        seen_configs: Dict[str, str] = {}
+        for name, kwargs in self.workload_configs.items():
+            # alias-aware, like the workloads list itself: a config keyed
+            # 'kelvin-helmholtz' applies to a sweep of 'kh' and vice versa
+            canonical = canonical_name(name)
+            if canonical not in seen:
+                raise ValueError(
+                    f"workload_configs mentions {name!r}, which is not in workloads"
+                )
+            if canonical in seen_configs:
+                raise ValueError(
+                    f"workload_configs keys {seen_configs[canonical]!r} and {name!r} "
+                    f"both refer to workload {canonical!r}"
+                )
+            seen_configs[canonical] = name
+            # probe the config constructor so typo'd field names fail here
+            # rather than deep inside a worker process
+            config_class = getattr(get_workload_class(name), "config_class", None)
+            if config_class is not None:
+                try:
+                    config_class(**kwargs)
+                except TypeError as exc:
+                    raise ValueError(
+                        f"invalid workload_configs for {name!r}: {exc}"
+                    ) from None
+
+    def points(self) -> Tuple[SweepPoint, ...]:
+        """The sweep grid in deterministic order: workload → policy → format."""
+        formats = self.resolved_formats()
+        grid = []
+        index = 0
+        for workload in self.workloads:
+            for policy in self.policies:
+                for fmt in formats:
+                    grid.append(SweepPoint(index=index, workload=workload, fmt=fmt, policy=policy))
+                    index += 1
+        return tuple(grid)
+
+    def config_kwargs(self, workload: str) -> Dict[str, object]:
+        """Config overrides for a workload, matching names alias-aware."""
+        direct = self.workload_configs.get(workload)
+        if direct is not None:
+            return dict(direct)
+        from ..workloads.registry import canonical_name
+
+        target = canonical_name(workload)
+        for name, kwargs in self.workload_configs.items():
+            if canonical_name(name) == target:
+                return dict(kwargs)
+        return {}
+
+    def with_backend(self, backend: str, max_workers: Optional[int] = None) -> "SweepSpec":
+        """A copy of the spec running on a different backend."""
+        return replace(self, backend=backend, max_workers=max_workers)

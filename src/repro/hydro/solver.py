@@ -16,7 +16,7 @@ knowing anything about them.
 """
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -55,6 +55,12 @@ class HydroSolver:
         CFL number for :meth:`compute_dt`.
     rk_stages:
         1 (forward Euler) or 2 (SSP-RK2, default).
+    gravity:
+        Constant body acceleration ``(gx, gy)``; a source term
+        ``d(rho v)/dt = rho g``, ``dE/dt = rho v . g`` is applied through the
+        update-stage numerics context (needed by the Rayleigh–Taylor
+        workload).  The default ``(0, 0)`` adds no operations, so
+        gravity-free runs are bit-identical to the pre-gravity solver.
     module:
         Module label under which the solver requests its numerics contexts
         ("hydro" by convention; policies match on it).
@@ -67,6 +73,7 @@ class HydroSolver:
         riemann: str = "hllc",
         cfl: float = 0.4,
         rk_stages: int = 2,
+        gravity: Tuple[float, float] = (0.0, 0.0),
         module: str = "hydro",
     ) -> None:
         if riemann not in SOLVERS:
@@ -78,6 +85,7 @@ class HydroSolver:
         self.riemann = riemann
         self.cfl = float(cfl)
         self.rk_stages = int(rk_stages)
+        self.gravity = (float(gravity[0]), float(gravity[1]))
         self.module = module
 
     # ------------------------------------------------------------------
@@ -193,6 +201,26 @@ class HydroSolver:
                 "update:div",
             )
             new_cons[comp] = update_ctx.sub(cons[comp], change, "update:new_u")
+
+        # constant-gravity source term (skipped entirely when gravity is off
+        # so existing workloads keep their exact operation stream)
+        gx, gy = self.gravity
+        if gx != 0.0 or gy != 0.0:
+            # dt*g is a scalar, so fold it into one constant: one multiply
+            # per cell per source term instead of two (this is the hot path,
+            # and extra context ops would also inflate the reported counters)
+            if gx != 0.0:
+                dtgx = update_ctx.const(dt * gx)
+                src_mx = update_ctx.mul(dens, dtgx, "update:src_mx")
+                new_cons["momx"] = update_ctx.add(new_cons["momx"], src_mx, "update:grav_mx")
+                src_ex = update_ctx.mul(momx, dtgx, "update:src_ex")
+                new_cons["ener"] = update_ctx.add(new_cons["ener"], src_ex, "update:grav_ex")
+            if gy != 0.0:
+                dtgy = update_ctx.const(dt * gy)
+                src_my = update_ctx.mul(dens, dtgy, "update:src_my")
+                new_cons["momy"] = update_ctx.add(new_cons["momy"], src_my, "update:grav_my")
+                src_ey = update_ctx.mul(momy, dtgy, "update:src_ey")
+                new_cons["ener"] = update_ctx.add(new_cons["ener"], src_ey, "update:grav_ey")
 
         # conserved -> primitive, with floors (the "update" stage of Spark)
         new_dens = update_ctx.maximum(

@@ -1,5 +1,25 @@
-"""Domain-decomposition substrate (simulated MPI ranks)."""
+"""Domain-decomposition substrate (simulated MPI ranks) and the
+task-execution backends used by the precision-sweep engine."""
 from .comm import REDUCTION_OPS, SimulatedComm
 from .decomposition import BlockDistribution, morton_index
+from .executor import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+    run_tasks,
+)
 
-__all__ = ["BlockDistribution", "morton_index", "SimulatedComm", "REDUCTION_OPS"]
+__all__ = [
+    "BlockDistribution",
+    "morton_index",
+    "SimulatedComm",
+    "REDUCTION_OPS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "BACKENDS",
+    "get_backend",
+    "run_tasks",
+]

@@ -1,0 +1,191 @@
+"""Task-execution backends for the precision-sweep engine.
+
+Sweep points are embarrassingly parallel: each one runs an independent
+simulation and returns a picklable result.  :class:`ProcessPoolBackend`
+fans tasks out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+:class:`SerialBackend` runs them in-process.  Both return results in task
+order, so a sweep produces the same :class:`~repro.experiments.SweepResult`
+regardless of the backend or the number of workers — the property the
+engine's tests pin down.
+
+The process backend degrades gracefully: if worker processes cannot be
+created (restricted sandboxes, missing semaphores) or the pool breaks
+mid-flight, the remaining tasks are executed serially and a warning is
+emitted instead of failing the sweep.
+"""
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_backend",
+    "run_tasks",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment switch forcing the serial path (useful on CI runners where
+#: process pools are unavailable or undesirable)
+_FORCE_SERIAL_ENV = "RAPTOR_FORCE_SERIAL"
+
+
+def _env_truthy(value: Optional[str]) -> bool:
+    """Interpret an environment-variable value as a boolean switch."""
+    if value is None:
+        return False
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+class ExecutionBackend:
+    """Maps ``fn`` over ``tasks``, returning results in task order."""
+
+    name = "abstract"
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution (also the fallback of the process backend)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        return [fn(task) for task in tasks]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Execution on a :class:`ProcessPoolExecutor`.
+
+    Results are gathered from the futures in submission order, so the output
+    list order is deterministic no matter how the OS schedules the workers.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def _effective_workers(self, n_tasks: int) -> int:
+        limit = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        return max(1, min(limit, n_tasks))
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        if not tasks:
+            return []
+        if _env_truthy(os.environ.get(_FORCE_SERIAL_ENV)):
+            return SerialBackend().map(fn, tasks)
+        workers = self._effective_workers(len(tasks))
+        if workers == 1:
+            return SerialBackend().map(fn, tasks)
+
+        results: List[R] = []
+        remaining = list(tasks)
+        stalled_at: Optional[int] = None  # result count at the last zero-progress break
+        while remaining:
+            try:
+                pool = ProcessPoolExecutor(max_workers=min(workers, len(remaining)))
+            except (OSError, ValueError, RuntimeError) as exc:
+                # pool creation fails in sandboxes without /dev/shm or fork;
+                # serial execution in-process is safe here because nothing
+                # ran yet that could have crashed a worker
+                return results + self._fall_back(fn, remaining, exc)
+            gathered_before = len(results)
+            try:
+                with pool:
+                    futures = [pool.submit(fn, task) for task in remaining]
+                    for future in futures:
+                        results.append(future.result())
+                return results
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                # the payload would not pickle — CPython reports this as
+                # PicklingError, TypeError ("cannot pickle '_thread.lock'")
+                # or AttributeError ("Can't pickle local object") depending
+                # on the object — a plain programming problem, safe to
+                # finish serially.  A TypeError/AttributeError raised inside
+                # fn lands here too; the serial rerun re-raises it unchanged,
+                # so correctness is preserved at the cost of the rerun.
+                completed = len(results) - gathered_before
+                return results + self._fall_back(fn, remaining[completed:], exc)
+            except BrokenProcessPool as exc:
+                # A worker died (crash, OOM kill).  Never rerun the suspect
+                # task in the parent process — whatever killed the worker
+                # would then kill the whole run.  Retry the remaining tasks
+                # in a fresh pool; if the frontier task breaks a fresh pool
+                # without any progress twice, treat the crash as
+                # deterministic and surface it.
+                completed = len(results) - gathered_before
+                if completed == 0 and stalled_at == len(results):
+                    raise
+                stalled_at = len(results) if completed == 0 else None
+                remaining = remaining[completed:]
+                warnings.warn(
+                    f"process pool broke ({exc}); retrying {len(remaining)} "
+                    "remaining task(s) in a fresh pool",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return results
+
+    def _fall_back(self, fn, tasks, exc) -> List[R]:
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            f"running {len(tasks)} remaining task(s) serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return SerialBackend().map(fn, tasks)
+
+    def describe(self) -> str:
+        return f"process(max_workers={self.max_workers or 'auto'})"
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def get_backend(backend, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Resolve a backend instance from an instance or a name."""
+    if isinstance(backend, ExecutionBackend):
+        if max_workers is not None:
+            raise ValueError(
+                "max_workers only applies when the backend is given by name; "
+                "configure the backend instance instead"
+            )
+        return backend
+    try:
+        cls = BACKENDS[backend]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    if cls is ProcessPoolBackend:
+        return cls(max_workers=max_workers)
+    return cls()
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    backend="serial",
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``tasks`` on the chosen backend, in task order."""
+    return get_backend(backend, max_workers=max_workers).map(fn, tasks)

@@ -1,7 +1,25 @@
-"""The four evaluation workloads of the paper (Section 4)."""
+"""The evaluation workloads: the paper's four plus the instability suite.
+
+Importing this package populates :mod:`repro.workloads.registry`; resolve
+workloads by name via :func:`get_workload_class` / :func:`create_workload`
+instead of importing the classes directly.
+"""
 from .base import CompressibleConfig, CompressibleWorkload, WorkloadRun
 from .bubble import STRATEGIES, BubbleExperimentConfig, BubbleRunResult, BubbleWorkload
 from .cellular import CellularConfig, CellularResult, CellularWorkload
+from .double_blast import DoubleBlastConfig, DoubleBlastWorkload
+from .kelvin_helmholtz import KelvinHelmholtzConfig, KelvinHelmholtzWorkload
+from .rayleigh_taylor import RayleighTaylorConfig, RayleighTaylorWorkload
+from .registry import (
+    DuplicateWorkloadError,
+    UnknownWorkloadError,
+    available_workloads,
+    create_workload,
+    get_workload_class,
+    register_workload,
+    unregister_workload,
+    workload_aliases,
+)
 from .sedov import SedovConfig, SedovWorkload
 from .sod import SodConfig, SodWorkload
 
@@ -13,6 +31,12 @@ __all__ = [
     "SedovWorkload",
     "SodConfig",
     "SodWorkload",
+    "KelvinHelmholtzConfig",
+    "KelvinHelmholtzWorkload",
+    "RayleighTaylorConfig",
+    "RayleighTaylorWorkload",
+    "DoubleBlastConfig",
+    "DoubleBlastWorkload",
     "CellularConfig",
     "CellularResult",
     "CellularWorkload",
@@ -20,4 +44,13 @@ __all__ = [
     "BubbleRunResult",
     "BubbleWorkload",
     "STRATEGIES",
+    # registry
+    "register_workload",
+    "unregister_workload",
+    "get_workload_class",
+    "create_workload",
+    "available_workloads",
+    "workload_aliases",
+    "DuplicateWorkloadError",
+    "UnknownWorkloadError",
 ]

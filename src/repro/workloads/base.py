@@ -9,7 +9,7 @@ full-precision reference — exactly the experimental loop of Section 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from ..core.selective import NoTruncationPolicy, TruncationPolicy
 from ..hydro.solver import HydroSolver
 from ..io.checkpoint import Checkpoint
 from ..io.sfocu import compare
+from .registry import register_workload
 
 __all__ = ["CompressibleConfig", "WorkloadRun", "CompressibleWorkload"]
 
@@ -35,7 +36,10 @@ class CompressibleConfig:
     n_root_y: int = 2
     max_level: int = 3
     ng: int = 3
-    boundary: str = "outflow"
+    #: "outflow" / "periodic" / "reflect", or {"x": kind, "y": kind}
+    boundary: Union[str, Dict[str, str]] = "outflow"
+    #: constant body acceleration (gx, gy); (0, 0) adds no source term
+    gravity: Tuple[float, float] = (0.0, 0.0)
     gamma: float = 1.4
     reconstruction: str = "plm"
     riemann: str = "hllc"
@@ -82,12 +86,29 @@ class WorkloadRun:
 
 
 class CompressibleWorkload:
-    """Base class for the Sedov and Sod experiments."""
+    """Base class for the compressible (AMR + hydro) workloads.
+
+    Concrete subclasses that define their own ``name`` are automatically
+    registered in :mod:`repro.workloads.registry`; set
+    ``register = False`` on a subclass to opt out (e.g. test doubles).
+    ``aliases`` adds alternative registry names.
+    """
 
     name = "compressible"
+    config_class = CompressibleConfig
+    register = True
+    aliases: Tuple[str, ...] = ()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # aliases uses own-dict lookup so a subclass does not re-register its
+        # parent's aliases; register is plain attribute lookup (inherited
+        # opt-outs propagate)
+        if cls.register and "name" in cls.__dict__:
+            register_workload(cls, aliases=cls.__dict__.get("aliases", ()))
 
     def __init__(self, config: Optional[CompressibleConfig] = None) -> None:
-        self.config = config or CompressibleConfig()
+        self.config = config or self.config_class()
 
     # -- to be overridden by concrete workloads ------------------------------
     def initial_condition(self, x: np.ndarray, y: np.ndarray) -> Dict[str, np.ndarray]:
@@ -130,6 +151,7 @@ class CompressibleWorkload:
             riemann=cfg.riemann,
             cfl=cfg.cfl,
             rk_stages=cfg.rk_stages,
+            gravity=cfg.gravity,
         )
 
     # ------------------------------------------------------------------

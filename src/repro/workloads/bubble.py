@@ -24,6 +24,7 @@ from ..core.fpformat import FPFormat
 from ..core.opmode import TruncatedContext
 from ..core.runtime import RaptorRuntime
 from ..incomp.solver import BubbleConfig, BubbleSolver
+from .registry import register_workload
 
 __all__ = ["BubbleExperimentConfig", "BubbleRunResult", "BubbleWorkload", "STRATEGIES"]
 
@@ -69,10 +70,12 @@ class BubbleRunResult:
         return float(np.mean(np.abs(self.snapshots[t] - reference.snapshots[t])))
 
 
+@register_workload
 class BubbleWorkload:
     """Driver for the Figure 1 truncation-strategy comparison."""
 
     name = "bubble"
+    config_class = BubbleExperimentConfig
 
     def __init__(self, config: Optional[BubbleExperimentConfig] = None) -> None:
         self.config = config or BubbleExperimentConfig()

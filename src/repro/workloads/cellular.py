@@ -28,6 +28,7 @@ from ..core.runtime import RaptorRuntime
 from ..core.selective import ModulePolicy, NoTruncationPolicy, TruncationPolicy
 from ..eos.newton import NewtonSolverConfig, invert_energy
 from ..eos.table import HelmholtzTable
+from .registry import register_workload
 
 __all__ = ["CellularConfig", "CellularResult", "CellularWorkload"]
 
@@ -69,10 +70,12 @@ class CellularResult:
         return len(self.front_positions) >= 2 and self.front_positions[-1] > self.front_positions[0]
 
 
+@register_workload
 class CellularWorkload:
     """1-D over-driven carbon detonation with a tabulated EOS."""
 
     name = "cellular"
+    config_class = CellularConfig
 
     def __init__(self, config: Optional[CellularConfig] = None) -> None:
         self.config = config or CellularConfig()

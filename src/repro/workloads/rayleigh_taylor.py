@@ -1,0 +1,121 @@
+"""Rayleigh–Taylor fingering workload.
+
+A heavy fluid sits on top of a light fluid in a constant downward
+gravitational field; a single-mode velocity perturbation at the interface
+grows into the classic interpenetrating fingers.  The setup is the standard
+single-mode RT box (periodic in x, reflecting walls in y, hydrostatic
+initial pressure), exercising both of the hooks the new scenarios added to
+the substrate: mixed per-axis boundary conditions in the AMR grid and the
+gravity source term of the hydro solver.
+
+Buoyancy-driven fingering is the canonical proxy for the plume dynamics of
+white-dwarf deflagration studies, complementing the shear-driven
+Kelvin–Helmholtz workload.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .base import CompressibleConfig, CompressibleWorkload
+
+__all__ = ["RayleighTaylorConfig", "RayleighTaylorWorkload"]
+
+
+@dataclass
+class RayleighTaylorConfig(CompressibleConfig):
+    """Single-mode RT parameters (heavy-over-light, hydrostatic start)."""
+
+    heavy_density: float = 2.0
+    light_density: float = 1.0
+    #: y-position of the unperturbed interface
+    interface_position: float = 0.5
+    #: pressure at the interface (sets the overall sound speed)
+    interface_pressure: float = 2.5
+    #: gravitational acceleration magnitude (acts in -y)
+    gravity_magnitude: float = 0.1
+    #: amplitude of the single-mode vertical velocity perturbation
+    perturbation_amplitude: float = 0.01
+    #: Gaussian width of the perturbation envelope around the interface
+    perturbation_width: float = 0.05
+    boundary: Dict[str, str] = field(
+        default_factory=lambda: {"x": "periodic", "y": "reflect"}
+    )
+    #: leave None to derive (0, -gravity_magnitude); an explicit vector —
+    #: including (0, 0) for a gravity-free run — is honoured as given, but
+    #: must point straight down (the hydrostatic initial condition assumes
+    #: gravity acts in -y)
+    gravity: Optional[Tuple[float, float]] = None
+    gamma: float = 1.4
+    t_end: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.gravity is None:
+            self.gravity = (0.0, -abs(self.gravity_magnitude))
+        else:
+            gx, gy = self.gravity
+            if gx != 0.0 or gy > 0.0:
+                raise ValueError(
+                    "RayleighTaylorConfig.gravity must point straight down "
+                    f"(gx == 0, gy <= 0) to match the hydrostatic initial "
+                    f"condition; got {self.gravity!r}"
+                )
+            # keep the magnitude knob consistent for diagnostics
+            self.gravity_magnitude = -gy
+
+
+class RayleighTaylorWorkload(CompressibleWorkload):
+    """2-D single-mode Rayleigh–Taylor instability in a closed vertical box."""
+
+    name = "rayleigh-taylor"
+    aliases = ("rt",)
+    config_class = RayleighTaylorConfig
+
+    def __init__(self, config: Optional[RayleighTaylorConfig] = None) -> None:
+        super().__init__(config or RayleighTaylorConfig())
+
+    def domain(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        return (0.0, 1.0), (0.0, 1.0)
+
+    def initial_condition(self, x: np.ndarray, y: np.ndarray) -> Dict[str, np.ndarray]:
+        cfg: RayleighTaylorConfig = self.config  # type: ignore[assignment]
+        g = abs(cfg.gravity_magnitude)
+        yi = cfg.interface_position
+        heavy = y >= yi
+
+        dens = np.where(heavy, cfg.heavy_density, cfg.light_density)
+        # hydrostatic equilibrium dp/dy = -rho g, continuous across the
+        # interface where p = interface_pressure
+        pres = np.where(
+            heavy,
+            cfg.interface_pressure - cfg.heavy_density * g * (y - yi),
+            cfg.interface_pressure - cfg.light_density * g * (y - yi),
+        )
+        vely = cfg.perturbation_amplitude * np.cos(2.0 * np.pi * x) * np.exp(
+            -((y - yi) ** 2) / (2.0 * cfg.perturbation_width ** 2)
+        )
+        return {
+            "dens": dens,
+            "velx": np.zeros_like(x),
+            "vely": vely,
+            "pres": pres,
+        }
+
+    # ------------------------------------------------------------------
+    def finger_amplitude(self, run) -> float:
+        """Half the spread of the mixed region around the interface: how far
+        the heaviest fluid has fallen / the lightest risen (finger growth
+        diagnostic)."""
+        cfg: RayleighTaylorConfig = self.config  # type: ignore[assignment]
+        dens = run.checkpoint["dens"]
+        _, y = run.grid.uniform_coordinates(cfg.max_level)
+        mid = 0.5 * (cfg.heavy_density + cfg.light_density)
+        heavy_rows = np.any(dens >= mid, axis=0)
+        light_rows = np.any(dens < mid, axis=0)
+        if not np.any(heavy_rows) or not np.any(light_rows):
+            return 0.0
+        spike_tip = float(y[np.argmax(heavy_rows)])      # lowest heavy fluid
+        bubble_tip = float(y[y.size - 1 - np.argmax(light_rows[::-1])])  # highest light fluid
+        return 0.5 * max(bubble_tip - spike_tip, 0.0)

@@ -1,0 +1,168 @@
+"""String-keyed workload registry.
+
+Every workload class self-registers under its ``name`` attribute (the
+compressible workloads do this automatically through
+``CompressibleWorkload.__init_subclass__``; the incompressible and reacting
+workloads register explicitly).  The precision-sweep engine of
+:mod:`repro.experiments` — and any benchmark or example script — resolves
+workloads by name through this registry instead of hard-coding imports, so
+adding a scenario is a one-file change.
+
+Aliases let the command-line friendly short names ("kh", "rt", …) resolve to
+the same class as the canonical name.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+__all__ = [
+    "DuplicateWorkloadError",
+    "UnknownWorkloadError",
+    "register_workload",
+    "unregister_workload",
+    "canonical_name",
+    "get_workload_class",
+    "create_workload",
+    "available_workloads",
+    "workload_aliases",
+]
+
+
+class DuplicateWorkloadError(ValueError):
+    """A different class is already registered under the requested name."""
+
+
+class UnknownWorkloadError(KeyError):
+    """No workload is registered under the requested name."""
+
+    def __init__(self, name: str, known: Tuple[str, ...]) -> None:
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown workload {name!r}; registered workloads are: "
+            + (", ".join(known) if known else "<none>")
+        )
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+#: canonical name -> workload class
+_REGISTRY: Dict[str, type] = {}
+#: alias -> canonical name
+_ALIASES: Dict[str, str] = {}
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def _same_class(a: type, b: type) -> bool:
+    """True when ``a`` and ``b`` are the same class, also across re-imports
+    of the defining module (same qualified name)."""
+    return a is b or (a.__module__, a.__qualname__) == (b.__module__, b.__qualname__)
+
+
+def register_workload(
+    cls: Optional[type] = None,
+    *,
+    name: Optional[str] = None,
+    aliases: Tuple[str, ...] = (),
+):
+    """Register a workload class, usable directly or as a decorator.
+
+    ``name`` defaults to the class's ``name`` attribute.  Registering the
+    same class twice is a no-op (module re-imports are harmless); registering
+    a *different* class under an existing name raises
+    :class:`DuplicateWorkloadError`.
+    """
+
+    def _register(klass: type) -> type:
+        key = _normalise(name if name is not None else getattr(klass, "name", ""))
+        if not key:
+            raise ValueError(
+                f"workload class {klass.__qualname__} has no 'name' attribute "
+                "and no explicit name was given"
+            )
+        canonical = _ALIASES.get(key, key)
+        existing = _REGISTRY.get(canonical)
+        if existing is not None and not _same_class(existing, klass):
+            raise DuplicateWorkloadError(
+                f"workload name {key!r} is already registered to "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        if canonical != key:
+            # `key` is currently an alias of the same class: the registration
+            # is already in effect under the canonical name; adding a second
+            # canonical entry would double-list the workload
+            key = canonical
+        _REGISTRY[key] = klass
+        for alias in aliases:
+            akey = _normalise(alias)
+            target = _ALIASES.get(akey)
+            owner = _REGISTRY.get(target) if target is not None else _REGISTRY.get(akey)
+            if owner is not None and not _same_class(owner, klass):
+                raise DuplicateWorkloadError(
+                    f"workload alias {akey!r} collides with an existing registration"
+                )
+            _ALIASES[akey] = key
+        return klass
+
+    if cls is not None:
+        return _register(cls)
+    return _register
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a registration (test helper)."""
+    key = _normalise(name)
+    key = _ALIASES.get(key, key)
+    _REGISTRY.pop(key, None)
+    for alias in [a for a, target in _ALIASES.items() if target == key or a == key]:
+        del _ALIASES[alias]
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """Sorted canonical names of all registered workloads."""
+    return tuple(sorted(_REGISTRY))
+
+
+def workload_aliases() -> Dict[str, str]:
+    """Mapping alias -> canonical name (copy)."""
+    return dict(_ALIASES)
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a name or alias to the canonical registry name."""
+    key = _normalise(name)
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise UnknownWorkloadError(name, available_workloads())
+    return key
+
+
+def get_workload_class(name: str) -> type:
+    """Resolve a workload name (or alias) to its class."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def create_workload(name: str, config=None, **config_kwargs):
+    """Instantiate a registered workload.
+
+    ``config`` (a ready-made config object) and ``config_kwargs`` (fields of
+    the workload's ``config_class``) are mutually exclusive.
+    """
+    cls = get_workload_class(name)
+    if config is not None:
+        if config_kwargs:
+            raise ValueError("pass either a config object or config kwargs, not both")
+        return cls(config)
+    if config_kwargs:
+        config_class = getattr(cls, "config_class", None)
+        if config_class is None:
+            raise TypeError(
+                f"workload {name!r} does not declare a config_class; "
+                "pass a ready-made config object instead"
+            )
+        return cls(config_class(**config_kwargs))
+    return cls()

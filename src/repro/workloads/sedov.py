@@ -36,6 +36,7 @@ class SedovWorkload(CompressibleWorkload):
     """2-D Sedov blast on the unit square with outflow boundaries."""
 
     name = "sedov"
+    config_class = SedovConfig
 
     def __init__(self, config: Optional[SedovConfig] = None) -> None:
         super().__init__(config or SedovConfig())

@@ -35,6 +35,7 @@ class SodWorkload(CompressibleWorkload):
     """2-D Sod shock tube: the jump lies along the vertical (y) plane."""
 
     name = "sod"
+    config_class = SodConfig
 
     def __init__(self, config: Optional[SodConfig] = None) -> None:
         super().__init__(config or SodConfig())

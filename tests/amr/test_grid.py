@@ -266,3 +266,50 @@ class TestCoveringGrid:
         x, y = g.uniform_coordinates()
         cell_area = (x[1] - x[0]) * (y[1] - y[0])
         assert float(np.sum(data) * cell_area) == pytest.approx(mean_from_blocks, rel=1e-12)
+
+
+class TestMixedBoundaries:
+    """Per-axis boundary conditions: boundary={"x": ..., "y": ...}."""
+
+    def test_string_boundary_applies_to_both_axes(self):
+        g = make_grid(boundary="periodic")
+        assert g.boundary_x == "periodic" and g.boundary_y == "periodic"
+
+    def test_mapping_sets_each_axis(self):
+        g = make_grid(boundary={"x": "periodic", "y": "reflect"})
+        assert g.boundary_x == "periodic"
+        assert g.boundary_y == "reflect"
+        assert g.boundary == {"x": "periodic", "y": "reflect"}
+
+    def test_invalid_mapping_raises(self):
+        with pytest.raises(ValueError):
+            make_grid(boundary={"x": "periodic"})  # missing y
+        with pytest.raises(ValueError):
+            make_grid(boundary={"x": "periodic", "y": "bogus"})
+
+    def test_periodic_x_wraps_while_reflect_y_does_not(self):
+        g = make_grid(boundary={"x": "periodic", "y": "reflect"}, n_root_x=2, n_root_y=2, max_level=1)
+        # crossing the x edge wraps to the opposite block
+        kind, info = g.neighbor((1, 0, 0), "-x")
+        assert kind == "same" and info == (1, 1, 0)
+        # crossing the y edge hits the wall
+        kind, info = g.neighbor((1, 0, 0), "-y")
+        assert kind == "boundary" and info is None
+
+    def test_reflect_y_flips_normal_velocity_in_guards(self):
+        g = make_grid(boundary={"x": "periodic", "y": "reflect"}, n_root_x=1, n_root_y=1, max_level=1)
+
+        def ic(x, y):
+            return {"dens": 1.0 + y, "velx": np.zeros_like(x), "vely": np.full_like(x, 0.25)}
+
+        g.initialize(ic)
+        block = g.blocks()[0]
+        ng = g.ng
+        vely = block.data["vely"]
+        dens = block.data["dens"]
+        # mirrored with flipped sign across the bottom wall
+        np.testing.assert_allclose(vely[ng:-ng, ng - 1], -vely[ng:-ng, ng])
+        # density mirrors without sign flip
+        np.testing.assert_allclose(dens[ng:-ng, ng - 1], dens[ng:-ng, ng])
+        # x stays periodic: left guards equal the right interior
+        np.testing.assert_allclose(dens[0:ng, ng:-ng], dens[-2 * ng:-ng, ng:-ng])

@@ -1,0 +1,17 @@
+"""Shared pytest configuration for the test suite."""
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden reference arrays under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request) -> bool:
+    return bool(request.config.getoption("--regen-golden"))

@@ -1,0 +1,146 @@
+"""Property-based tests of the IEEE semantics of core/quantize.py.
+
+Hypothesis sweeps all STANDARD_FORMATS and every rounding mode, pinning the
+contracts every downstream experiment relies on:
+
+* round-trip idempotence: quantising a quantised value changes nothing,
+* special values: NaN propagates, signed zeros survive, magnitudes beyond
+  the format overflow to infinity under round-to-nearest,
+* ulp is weakly monotone in |x| and consistent with the quantisation error.
+"""
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    STANDARD_FORMATS,
+    RoundingMode,
+    is_representable,
+    quantization_error,
+    quantize,
+    ulp,
+)
+
+FORMATS = sorted(STANDARD_FORMATS.values(), key=lambda f: (f.exp_bits, f.man_bits))
+FORMAT_IDS = [f.name for f in FORMATS]
+ROUNDINGS = list(RoundingMode.ALL)
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False, width=64)
+format_st = st.sampled_from(FORMATS)
+rounding_st = st.sampled_from(ROUNDINGS)
+
+
+# ---------------------------------------------------------------------------
+# round-trip idempotence
+# ---------------------------------------------------------------------------
+@given(x=finite_doubles, fmt=format_st, rounding=rounding_st)
+@settings(max_examples=400, deadline=None)
+def test_quantize_is_idempotent(x, fmt, rounding):
+    once = quantize(x, fmt, rounding)
+    twice = quantize(once, fmt, rounding)
+    np.testing.assert_array_equal(once, twice)
+
+
+@given(x=finite_doubles, fmt=format_st, rounding=rounding_st)
+@settings(max_examples=200, deadline=None)
+def test_quantized_value_is_representable(x, fmt, rounding):
+    q = quantize(x, fmt, rounding)
+    if np.isfinite(q):
+        assert bool(is_representable(q, fmt))
+
+
+# ---------------------------------------------------------------------------
+# special values
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+@pytest.mark.parametrize("rounding", ROUNDINGS)
+def test_nan_propagates(fmt, rounding):
+    q = quantize(np.nan, fmt, rounding)
+    assert np.isnan(q)
+    arr = quantize(np.array([1.0, np.nan, -2.0]), fmt, rounding)
+    assert np.isnan(arr[1]) and not np.isnan(arr[0]) and not np.isnan(arr[2])
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+@pytest.mark.parametrize("rounding", ROUNDINGS)
+def test_signed_zeros_survive(fmt, rounding):
+    plus = quantize(0.0, fmt, rounding)
+    minus = quantize(-0.0, fmt, rounding)
+    assert plus == 0.0 and not np.signbit(plus)
+    assert minus == 0.0 and np.signbit(minus)
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+def test_infinities_pass_through(fmt):
+    for rounding in ROUNDINGS:
+        assert quantize(np.inf, fmt, rounding) == np.inf
+        assert quantize(-np.inf, fmt, rounding) == -np.inf
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+def test_overflow_to_inf_nearest(fmt):
+    big = fmt.max_value * 2.0
+    assert quantize(big, fmt) == (np.inf if not fmt.is_fp64() else big)
+    if not fmt.is_fp64():
+        assert quantize(-big, fmt) == -np.inf
+
+
+@pytest.mark.parametrize("fmt", [f for f in FORMATS if not f.is_fp64()], ids=[f.name for f in FORMATS if not f.is_fp64()])
+def test_overflow_is_clamped_toward_zero(fmt):
+    big = fmt.max_value * 2.0
+    assert quantize(big, fmt, RoundingMode.TOWARD_ZERO) == fmt.max_value
+    assert quantize(-big, fmt, RoundingMode.TOWARD_ZERO) == -fmt.max_value
+    # directed modes clamp on the side they cannot cross
+    assert quantize(big, fmt, RoundingMode.DOWN) == fmt.max_value
+    assert quantize(-big, fmt, RoundingMode.UP) == -fmt.max_value
+    assert quantize(big, fmt, RoundingMode.UP) == np.inf
+    assert quantize(-big, fmt, RoundingMode.DOWN) == -np.inf
+
+
+@given(x=finite_doubles, fmt=format_st)
+@settings(max_examples=200, deadline=None)
+def test_directed_rounding_brackets_nearest(x, fmt):
+    down = quantize(x, fmt, RoundingMode.DOWN)
+    up = quantize(x, fmt, RoundingMode.UP)
+    assert down <= x or down == -np.inf
+    assert up >= x or up == np.inf
+    tz = quantize(x, fmt, RoundingMode.TOWARD_ZERO)
+    assert abs(tz) <= abs(x)
+
+
+# ---------------------------------------------------------------------------
+# ulp monotonicity and error bound
+# ---------------------------------------------------------------------------
+@given(
+    x=finite_doubles,
+    y=finite_doubles,
+    fmt=format_st,
+)
+@settings(max_examples=400, deadline=None)
+def test_ulp_monotone_in_magnitude(x, y, fmt):
+    lo, hi = sorted((abs(x), abs(y)))
+    assert float(ulp(lo, fmt)) <= float(ulp(hi, fmt))
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+def test_ulp_at_one_is_machine_epsilon(fmt):
+    assert float(ulp(1.0, fmt)) == fmt.eps
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=FORMAT_IDS)
+def test_ulp_of_zero_is_smallest_subnormal(fmt):
+    assert float(ulp(0.0, fmt)) == fmt.min_subnormal
+    assert math.isnan(float(ulp(np.inf, fmt)))
+
+
+@given(x=finite_doubles, fmt=format_st)
+@settings(max_examples=400, deadline=None)
+def test_nearest_error_within_half_ulp(x, fmt):
+    assume(abs(x) <= fmt.max_value)
+    err = float(quantization_error(x, fmt))
+    # half-ulp bound of round-to-nearest; ulp() uses the target's spacing at
+    # |x|, which is exact for normals and the subnormal spacing below them
+    assert err <= 0.5 * float(ulp(x, fmt)) * (1 + 1e-12)

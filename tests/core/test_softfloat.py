@@ -131,3 +131,80 @@ def test_value_always_representable(a):
     from repro.core import is_representable
 
     assert bool(is_representable(x.value, fmt)) or not math.isfinite(x.value)
+
+
+class TestComparisonCoercion:
+    """Regression tests: comparisons must coerce raw scalars through the
+    same _coerce path as arithmetic (numpy scalars included), and must not
+    accept operands arithmetic would reject (e.g. numeric strings)."""
+
+    def test_eq_against_numpy_float32(self):
+        x = EmulatedFloat(1.5, FP16)
+        assert x == np.float32(1.5)
+        assert not (x == np.float32(1.25))
+        # the result is a plain bool, not a numpy array/bool_ from the
+        # reflected numpy comparison that NotImplemented used to trigger
+        assert isinstance(x == np.float32(1.5), bool)
+
+    def test_ordering_against_numpy_ints(self):
+        x = EmulatedFloat(2.0, FP16)
+        assert x > np.int64(1)
+        assert x >= np.int32(2)
+        assert x < np.int64(3)
+        assert x <= np.uint8(2)
+        assert isinstance(x < np.int64(3), bool)
+
+    def test_ne_matches_arithmetic_coercion(self):
+        x = EmulatedFloat(0.1, FPFormat(8, 10))
+        # 0.1 is rounded into the format, so it differs from the exact
+        # double 0.1 in the same way (x - 0.1) is nonzero
+        assert (x != 0.1) == (float(x - 0.1) != 0.0)
+
+    def test_string_operands_are_not_numbers(self):
+        x = EmulatedFloat(1.5, FP16)
+        assert not (x == "1.5")
+        assert x != "1.5"
+        with pytest.raises(TypeError):
+            x < "1.5"  # noqa: B015 - the comparison itself is the assertion
+
+    def test_arithmetic_rejects_strings_too(self):
+        x = EmulatedFloat(1.5, FP16)
+        with pytest.raises(TypeError):
+            x + "1"
+
+    def test_bool_is_a_real_number(self):
+        x = EmulatedFloat(1.0, FP16)
+        assert x == True  # noqa: E712 - exercising the coercion explicitly
+        assert x > False
+
+
+class TestOperandCoercionRound2:
+    """Arithmetic must accept __float__-bearing operands (0-d numpy arrays,
+    Decimal) and defer via NotImplemented on the rest, like the comparisons."""
+
+    def test_zero_dim_ndarray_operand(self):
+        x = EmulatedFloat(1.5, FP16)
+        assert float(x + np.array(2.0)) == 3.5
+        assert float(np.array(2.0) + x) == 3.5
+        assert x < np.array(2.0)
+
+    def test_decimal_operand(self):
+        from decimal import Decimal
+
+        x = EmulatedFloat(1.5, FP16)
+        assert float(x + Decimal("0.5")) == 2.0
+        assert x == Decimal("1.5")
+
+    def test_unsupported_operand_raises_standard_type_error(self):
+        x = EmulatedFloat(1.5, FP16)
+        with pytest.raises(TypeError):
+            x + object()
+        with pytest.raises(TypeError):
+            x * "2"
+
+    def test_reflected_delegation(self):
+        class Wrapper:
+            def __radd__(self, other):
+                return "delegated"
+
+        assert EmulatedFloat(1.0, FP16) + Wrapper() == "delegated"

@@ -1,0 +1,113 @@
+"""Tests for the string-keyed workload registry."""
+import pytest
+
+from repro.workloads import (
+    CompressibleWorkload,
+    DuplicateWorkloadError,
+    KelvinHelmholtzWorkload,
+    SedovWorkload,
+    UnknownWorkloadError,
+    available_workloads,
+    create_workload,
+    get_workload_class,
+    register_workload,
+    unregister_workload,
+    workload_aliases,
+)
+from repro.workloads.sedov import SedovConfig
+
+
+class TestLookup:
+    def test_builtin_workloads_are_registered(self):
+        names = available_workloads()
+        for expected in ("sod", "sedov", "cellular", "bubble",
+                         "kelvin-helmholtz", "rayleigh-taylor", "double-blast"):
+            assert expected in names
+
+    def test_aliases_resolve_to_canonical_classes(self):
+        assert get_workload_class("kh") is KelvinHelmholtzWorkload
+        assert workload_aliases()["kh"] == "kelvin-helmholtz"
+
+    def test_lookup_is_case_and_separator_insensitive(self):
+        assert get_workload_class("Kelvin_Helmholtz") is KelvinHelmholtzWorkload
+
+    def test_unknown_workload_lists_registered_names(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            get_workload_class("warp-drive")
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        assert "sedov" in message and "kelvin-helmholtz" in message
+
+
+class TestRegistration:
+    def test_duplicate_name_raises(self):
+        class Impostor:
+            name = "sedov"
+
+        with pytest.raises(DuplicateWorkloadError):
+            register_workload(Impostor)
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register_workload(SedovWorkload)  # no raise
+        assert get_workload_class("sedov") is SedovWorkload
+
+    def test_subclasses_self_register(self):
+        class ProbeWorkload(CompressibleWorkload):
+            name = "probe-workload-selftest"
+
+        try:
+            assert get_workload_class("probe-workload-selftest") is ProbeWorkload
+        finally:
+            unregister_workload("probe-workload-selftest")
+        with pytest.raises(UnknownWorkloadError):
+            get_workload_class("probe-workload-selftest")
+
+    def test_register_false_opts_out(self):
+        class Unregistered(CompressibleWorkload):
+            name = "never-registered-selftest"
+            register = False
+
+        with pytest.raises(UnknownWorkloadError):
+            get_workload_class("never-registered-selftest")
+
+    def test_class_without_name_needs_explicit_name(self):
+        class Nameless:
+            pass
+
+        with pytest.raises(ValueError):
+            register_workload(Nameless)
+
+
+class TestCreate:
+    def test_create_with_config_object(self):
+        cfg = SedovConfig(max_level=2)
+        w = create_workload("sedov", config=cfg)
+        assert w.config is cfg
+
+    def test_create_with_config_kwargs(self):
+        w = create_workload("sedov", max_level=2, t_end=0.01)
+        assert isinstance(w.config, SedovConfig)
+        assert w.config.max_level == 2 and w.config.t_end == 0.01
+
+    def test_create_rejects_config_and_kwargs_together(self):
+        with pytest.raises(ValueError):
+            create_workload("sedov", config=SedovConfig(), max_level=2)
+
+    def test_create_default(self):
+        w = create_workload("kh")
+        assert isinstance(w, KelvinHelmholtzWorkload)
+
+
+class TestAliasCanonicalConsistency:
+    def test_registering_under_own_alias_does_not_double_list(self):
+        before = available_workloads()
+        register_workload(KelvinHelmholtzWorkload, name="kh")  # "kh" is an alias
+        assert available_workloads() == before  # no second canonical entry
+        assert get_workload_class("kh") is KelvinHelmholtzWorkload
+
+    def test_registering_different_class_under_alias_raises(self):
+        class Impostor:
+            name = "kh"
+
+        with pytest.raises(DuplicateWorkloadError):
+            register_workload(Impostor)

@@ -1,0 +1,81 @@
+"""Golden regression tests for the Sod and Sedov final states.
+
+Small reference checkpoints (FP64 reference run and a BF16
+globally-truncated run for each workload) are committed under
+``tests/golden/``.  The simulation pipeline is deterministic, so any change
+to the numerics — quantisation, reconstruction, Riemann solver, AMR guard
+filling, context bookkeeping — shows up as a diff against these arrays.
+
+After an *intentional* change to the numerics, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --regen-golden
+"""
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import BF16, GlobalPolicy, RaptorRuntime, TruncationConfig
+from repro.io.checkpoint import Checkpoint
+from repro.workloads import create_workload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: deliberately tiny but non-trivial configurations (two AMR levels, a few
+#: dozen steps) so the files stay small and the tests fast
+GOLDEN_CONFIGS = {
+    "sod": dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+                t_end=0.04, rk_stages=1, reconstruction="plm"),
+    "sedov": dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+                  t_end=0.02, rk_stages=1, reconstruction="plm"),
+}
+
+CASES = [(workload, fmt) for workload in GOLDEN_CONFIGS for fmt in ("fp64", "bf16")]
+
+
+def _golden_path(workload: str, fmt: str) -> Path:
+    return GOLDEN_DIR / f"{workload}_{fmt}.npz"
+
+
+def _run_case(workload: str, fmt: str) -> Checkpoint:
+    w = create_workload(workload, **GOLDEN_CONFIGS[workload])
+    if fmt == "fp64":
+        run = w.reference()
+    else:
+        runtime = RaptorRuntime(f"golden-{workload}-{fmt}")
+        policy = GlobalPolicy(TruncationConfig(targets={64: BF16}), runtime=runtime)
+        run = w.run(policy=policy, runtime=runtime)
+    return run.checkpoint
+
+
+@pytest.mark.parametrize("workload,fmt", CASES, ids=[f"{w}-{f}" for w, f in CASES])
+def test_golden_final_state(workload, fmt, regen_golden):
+    path = _golden_path(workload, fmt)
+    checkpoint = _run_case(workload, fmt)
+
+    if regen_golden:
+        checkpoint.save(path)
+        pytest.skip(f"regenerated {path.name}")
+
+    assert path.exists(), (
+        f"golden file {path} is missing; generate it with "
+        "pytest tests/test_golden.py --regen-golden"
+    )
+    golden = Checkpoint.load(path)
+    assert golden.variables() == checkpoint.variables()
+    np.testing.assert_allclose(
+        checkpoint.time, golden.time, rtol=0, atol=1e-15,
+        err_msg=f"{workload}/{fmt}: final time drifted",
+    )
+    for name in golden.variables():
+        np.testing.assert_allclose(
+            checkpoint[name],
+            golden[name],
+            rtol=1e-12,
+            atol=1e-14,
+            err_msg=(
+                f"{workload}/{fmt}: variable {name!r} deviates from the "
+                f"golden state in {path.name}; if the numerics change is "
+                "intentional, rerun with --regen-golden"
+            ),
+        )

@@ -1,0 +1,93 @@
+"""Sanity tests for the instability-suite workloads (KH, RT, double blast)."""
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DoubleBlastConfig,
+    DoubleBlastWorkload,
+    KelvinHelmholtzConfig,
+    KelvinHelmholtzWorkload,
+    RayleighTaylorConfig,
+    RayleighTaylorWorkload,
+)
+
+FAST = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2, rk_stages=1)
+
+
+class TestKelvinHelmholtz:
+    def test_initial_condition_shapes_and_shear(self):
+        w = KelvinHelmholtzWorkload(KelvinHelmholtzConfig(**FAST))
+        x, y = np.meshgrid(np.linspace(0, 1, 16), np.linspace(0, 1, 16), indexing="ij")
+        ic = w.initial_condition(x, y)
+        assert set(ic) == {"dens", "velx", "vely", "pres"}
+        # counter-flowing band: both shear directions present
+        assert ic["velx"].max() > 0 > ic["velx"].min()
+        # perturbation is small compared to the shear
+        assert np.abs(ic["vely"]).max() < 0.1 * np.abs(ic["velx"]).max()
+
+    def test_run_conserves_mass_on_periodic_domain(self):
+        w = KelvinHelmholtzWorkload(KelvinHelmholtzConfig(t_end=0.01, **FAST))
+        run = w.reference()
+        dens = run.checkpoint["dens"]
+        x, yc = np.meshgrid(*run.grid.uniform_coordinates(2), indexing="ij")
+        ic = w.initial_condition(x, yc)
+        # fully periodic box: total mass is conserved to solver accuracy
+        assert np.sum(dens) == pytest.approx(np.sum(ic["dens"]), rel=1e-10)
+        assert run.info["steps"] > 0
+        assert w.mixing_width(run) >= 0.0
+
+
+class TestRayleighTaylor:
+    def test_hydrostatic_pressure_is_continuous_and_decreasing(self):
+        w = RayleighTaylorWorkload(RayleighTaylorConfig(**FAST))
+        y = np.linspace(0, 1, 101)
+        x = np.full_like(y, 0.25)
+        ic = w.initial_condition(x, y)
+        assert np.all(np.diff(ic["pres"]) < 0)  # pressure falls with height
+        assert ic["pres"].min() > 0
+        # heavy over light
+        assert ic["dens"][-1] > ic["dens"][0]
+
+    def test_gravity_is_wired_into_the_solver(self):
+        w = RayleighTaylorWorkload(RayleighTaylorConfig(**FAST))
+        solver = w.build_solver()
+        assert solver.gravity == (0.0, -abs(w.config.gravity_magnitude))
+
+    def test_unperturbed_column_stays_near_equilibrium(self):
+        cfg = RayleighTaylorConfig(perturbation_amplitude=0.0, t_end=0.02, **FAST)
+        run = RayleighTaylorWorkload(cfg).reference()
+        # without a seed perturbation the hydrostatic state barely moves
+        assert float(np.abs(run.checkpoint["vely"]).max()) < 5e-3
+
+    def test_mixed_boundaries_on_the_grid(self):
+        w = RayleighTaylorWorkload(RayleighTaylorConfig(**FAST))
+        grid = w.build_grid()
+        assert grid.boundary_x == "periodic" and grid.boundary_y == "reflect"
+
+
+class TestDoubleBlast:
+    def test_initial_pressure_reservoirs(self):
+        w = DoubleBlastWorkload(DoubleBlastConfig(**FAST))
+        x, y = np.meshgrid(np.linspace(0, 1, 64), np.linspace(0, 1, 8), indexing="ij")
+        ic = w.initial_condition(x, y)
+        assert ic["pres"].max() == 1000.0
+        assert ic["pres"].min() == 0.01
+        assert np.all(ic["velx"] == 0.0)
+
+    def test_blasts_advance_toward_each_other(self):
+        w = DoubleBlastWorkload(DoubleBlastConfig(t_end=0.004, **FAST))
+        run = w.reference()
+        left, right = w.front_positions(run)
+        cfg = w.config
+        # fronts have detached from the reservoir edges and face each other
+        assert cfg.left_edge < left < right < cfg.right_edge
+        assert np.isfinite(run.checkpoint["pres"]).all()
+        assert run.checkpoint["dens"].min() > 0
+
+    def test_reflecting_walls_keep_mass_in_the_tube(self):
+        w = DoubleBlastWorkload(DoubleBlastConfig(t_end=0.002, **FAST))
+        run = w.reference()
+        dens = run.checkpoint["dens"]
+        x, yc = np.meshgrid(*run.grid.uniform_coordinates(2), indexing="ij")
+        ic = w.initial_condition(x, yc)
+        assert np.sum(dens) == pytest.approx(np.sum(ic["dens"]), rel=1e-10)
