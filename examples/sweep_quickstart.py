@@ -16,15 +16,41 @@ Useful variations::
     # CI smoke configuration (small grid, two formats)
     python examples/sweep_quickstart.py --workloads kh --formats fp32,bf16 \
         --max-level 2 --t-end 0.005 --backend process
+
+    # cache the full-precision references: the second invocation reports
+    # cache hits and launches zero reference tasks
+    python examples/sweep_quickstart.py --cache-dir .raptor-refs
+    python examples/sweep_quickstart.py --cache-dir .raptor-refs
+
+    # shard a grid across hosts, then reassemble bit-identically
+    python examples/sweep_quickstart.py --shard 0/4 --out shard0.pkl   # host A
+    python examples/sweep_quickstart.py --shard 1/4 --out shard1.pkl   # host B
+    ...
+    python examples/sweep_quickstart.py --merge shard*.pkl
 """
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 
 from repro.core import format_table
-from repro.experiments import PolicySpec, SweepSpec, run_sweep
+from repro.experiments import CacheStats, PolicySpec, SweepResult, SweepSpec, run_sweep
 from repro.workloads import available_workloads
+
+
+def parse_shard(text: str):
+    """Parse ``--shard i/n`` into ``(index, count)``."""
+    try:
+        index_part, _, count_part = text.partition("/")
+        index, count = int(index_part), int(count_part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"shard must look like 'i/n', got {text!r}")
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"shard count must be >= 1, got {count}")
+    if not (0 <= index < count):
+        raise argparse.ArgumentTypeError(f"shard index must be in [0, {count}), got {index}")
+    return index, count
 
 
 def parse_args() -> argparse.Namespace:
@@ -50,11 +76,83 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--max-level", type=int, default=3, help="AMR levels (8x8 blocks)")
     parser.add_argument("--t-end", type=float, default=None, help="override simulated end time")
     parser.add_argument("--json", action="store_true", help="emit the result as JSON")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the reference-run cache; repeated sweeps reuse "
+        "full-precision references instead of recomputing them",
+    )
+    parser.add_argument(
+        "--shard",
+        type=parse_shard,
+        default=None,
+        metavar="I/N",
+        help="run only the I-th of N deterministic grid partitions "
+        "(combine the outputs with --merge)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="save the (shard) result to PATH for a later --merge",
+    )
+    parser.add_argument(
+        "--merge",
+        nargs="+",
+        default=None,
+        metavar="SHARD.pkl",
+        help="merge shard results saved with --out instead of running a sweep",
+    )
     return parser.parse_args()
+
+
+def report(result: SweepResult, args: argparse.Namespace, merged: bool = False) -> None:
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return
+
+    if merged:
+        source = "reassembled from shards"
+    else:
+        source = f"on the {result.spec.backend} backend"
+        if result.spec.shard_count > 1:
+            source += f" (shard {result.spec.shard_index}/{result.spec.shard_count})"
+    print(f"\n=== precision sweep: {len(result)} points {source} ===")
+    print(result.table("dens"))
+
+    rollup = result.rollup()
+    gtrunc, gfull = rollup.giga_flops()
+    print(
+        format_table(
+            ["counter", "truncated", "full"],
+            [
+                ["scalar ops (1e9)", f"{gtrunc:.4f}", f"{gfull:.4f}"],
+                ["bytes moved", str(rollup.mem.truncated), str(rollup.mem.full)],
+            ],
+        )
+    )
+    if result.cache_stats is not None:
+        print("reference cache: " + CacheStats(**result.cache_stats).describe())
 
 
 def main() -> None:
     args = parse_args()
+
+    def note(message: str) -> None:
+        # keep stdout pure JSON under --json; progress notes go to stderr
+        print(message, file=sys.stderr if args.json else sys.stdout)
+
+    if args.merge is not None:
+        if args.shard is not None:
+            raise SystemExit("--merge and --shard are mutually exclusive")
+        merged = SweepResult.merge(SweepResult.load(path) for path in args.merge)
+        note(f"merged {len(args.merge)} shard file(s) into {len(merged)} points")
+        report(merged, args, merged=True)
+        if args.out:
+            merged.save(args.out)
+            note(f"saved merged result to {args.out}")
+        return
+
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     formats = [f.strip() for f in args.formats.split(",") if f.strip()]
     policy = {
@@ -76,27 +174,16 @@ def main() -> None:
         variables=("dens", "pres"),
         backend=args.backend,
         max_workers=args.max_workers,
+        cache_dir=args.cache_dir,
     )
+    if args.shard is not None:
+        spec = spec.shard(*args.shard)
+
     result = run_sweep(spec)
-
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
-        return
-
-    print(f"\n=== precision sweep: {len(result)} points on the {args.backend} backend ===")
-    print(result.table("dens"))
-
-    rollup = result.rollup()
-    gtrunc, gfull = rollup.giga_flops()
-    print(
-        format_table(
-            ["counter", "truncated", "full"],
-            [
-                ["scalar ops (1e9)", f"{gtrunc:.4f}", f"{gfull:.4f}"],
-                ["bytes moved", str(rollup.mem.truncated), str(rollup.mem.full)],
-            ],
-        )
-    )
+    report(result, args)
+    if args.out:
+        result.save(args.out)
+        note(f"saved result to {args.out}")
 
 
 if __name__ == "__main__":

@@ -245,9 +245,16 @@ class RaptorRuntime:
             "locations": locations,
         }
 
-    def merge_snapshot(self, snap: dict) -> None:
+    def merge_snapshot(self, snap: dict) -> "RaptorRuntime":
         """Accumulate a :meth:`snapshot` produced elsewhere (typically in a
-        worker process) into this runtime's counters and statistics."""
+        worker process, or loaded from a cached reference / merged sweep
+        shard) into this runtime's counters and statistics.
+
+        Returns ``self`` so roll-ups fold functionally::
+
+            total = functools.reduce(RaptorRuntime.merge_snapshot,
+                                     snapshots, RaptorRuntime("rollup"))
+        """
         ops = snap.get("ops", {})
         mem = snap.get("mem", {})
         with self._lock:
@@ -275,6 +282,7 @@ class RaptorRuntime:
                     entry.get("max_rel_err", 0.0),
                     entry.get("flagged", 0),
                 )
+        return self
 
 
 _default_runtime = RaptorRuntime()

@@ -14,9 +14,33 @@ operations — is packaged here as a reusable engine:
 ... ))
 >>> print(result.table())
 
-See ``docs/experiments.md`` for the full protocol, including how to add a
-workload to the registry.
+The package splits into three modules:
+
+* :mod:`~repro.experiments.spec`   — the declarative surface.
+  :class:`SweepSpec` names workloads (registry keys), formats, and
+  :class:`PolicySpec` truncation recipes; ``spec.shard(i, n)`` slices the
+  expanded grid deterministically for multi-host execution.
+* :mod:`~repro.experiments.engine` — execution.  :func:`run_sweep` runs
+  one full-precision reference per workload, fans the grid out over
+  :mod:`repro.parallel.executor`, and returns a :class:`SweepResult`
+  (which also merges shard results via :meth:`SweepResult.merge` and
+  persists them via ``save``/``load``).
+* :mod:`~repro.experiments.cache`  — the reference-run cache.
+  :class:`ReferenceCache` is a content-addressed, fingerprint-invalidated
+  store (in-memory LRU over on-disk ``.npz``) consulted by ``run_sweep``
+  so repeated sweeps launch zero reference tasks.
+
+See ``docs/experiments.md`` for the full protocol, ``docs/architecture.md``
+for where each module sits in the system, and ``docs/workloads.md`` for the
+scenario gallery.
 """
+from .cache import (
+    CacheStats,
+    ReferenceCache,
+    ReferenceKey,
+    reference_key,
+    solver_fingerprint,
+)
 from .engine import PointResult, ReferenceResult, SweepResult, run_sweep
 from .spec import PolicySpec, SweepPoint, SweepSpec, format_label, resolve_format
 
@@ -30,4 +54,9 @@ __all__ = [
     "run_sweep",
     "resolve_format",
     "format_label",
+    "ReferenceCache",
+    "ReferenceKey",
+    "CacheStats",
+    "reference_key",
+    "solver_fingerprint",
 ]

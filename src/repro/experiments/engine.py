@@ -9,11 +9,22 @@ Execution goes through :mod:`repro.parallel.executor`; because each point is
 a pure function of its task description, the serial and process-pool
 backends produce identical results point for point, and results always come
 back in grid order.
+
+Two scale features sit on top of that core loop:
+
+* **Reference caching** — ``run_sweep(spec, cache=...)`` (or
+  ``spec.cache_dir``) consults :mod:`repro.experiments.cache` before
+  launching reference tasks; a warm cache launches zero of them.
+* **Sharding** — ``spec.shard(i, n)`` runs a deterministic slice of the
+  grid, and :meth:`SweepResult.merge` reassembles shard outputs (points,
+  references, and counter roll-ups) bit-identically to the unsharded run.
 """
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +35,7 @@ from ..io.checkpoint import Checkpoint
 from ..io.sfocu import compare
 from ..parallel.executor import run_tasks
 from ..workloads.registry import create_workload
+from .cache import ReferenceCache, reference_key
 from .spec import PolicySpec, SweepPoint, SweepSpec, format_label
 
 __all__ = ["PointResult", "ReferenceResult", "SweepResult", "run_sweep"]
@@ -116,11 +128,20 @@ class PointResult:
 
 @dataclass
 class SweepResult:
-    """All points of a sweep, in grid order, plus per-workload references."""
+    """All points of a sweep, in grid order, plus per-workload references.
+
+    For a sharded spec the points are that shard's slice of the grid (global
+    indices preserved); :meth:`merge` recombines shard results into the
+    result of the unsharded sweep.
+    """
 
     spec: SweepSpec
     points: List[PointResult]
     references: Dict[str, ReferenceResult]
+    #: reference-cache counters of this run ({"hits": ..., "misses": ...,
+    #: "stores": ..., "invalidations": ..., "evictions": ...}); None when
+    #: the run was uncached
+    cache_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -182,6 +203,8 @@ class SweepResult:
             "formats": [format_label(f) for f in self.spec.resolved_formats()],
             "policies": [p.describe() for p in self.spec.policies],
             "backend": self.spec.backend,
+            "shard": [self.spec.shard_index, self.spec.shard_count],
+            "cache": self.cache_stats,
             "points": [
                 {
                     "index": p.index,
@@ -197,6 +220,106 @@ class SweepResult:
                 for p in self.points
             ],
         }
+
+    # ------------------------------------------------------------------
+    # shard persistence + recombination
+    # ------------------------------------------------------------------
+    def save(self, path) -> Path:
+        """Persist the full result (points, references, snapshots) to disk.
+
+        The format is a pickle of the result object — everything in a
+        :class:`SweepResult` is picklable by construction because it
+        crosses process boundaries during parallel execution.  Only load
+        files you produced yourself (pickle executes code on load).
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+    @classmethod
+    def load(cls, path) -> "SweepResult":
+        """Load a result written by :meth:`save`."""
+        with open(Path(path), "rb") as fh:
+            result = pickle.load(fh)
+        if not isinstance(result, cls):
+            raise TypeError(f"{path} does not contain a SweepResult (got {type(result).__name__})")
+        return result
+
+    @staticmethod
+    def _merge_signature(spec: SweepSpec) -> tuple:
+        """What must agree across shards for a merge to be meaningful: the
+        full grid, the error protocol, and the per-workload configs.
+        Backend and worker count deliberately excluded — metrics are
+        backend-independent, so shards may run on heterogeneous hosts."""
+        base = spec.unsharded()
+        return (
+            base.full_grid(),
+            base.variables,
+            base.rounding,
+            tuple((w, sorted(base.config_kwargs(w).items())) for w in base.workloads),
+        )
+
+    @classmethod
+    def merge(cls, *results: "SweepResult") -> "SweepResult":
+        """Recombine shard results into the unsharded sweep result.
+
+        Accepts the shard results in any order (pass them unpacked or as a
+        single iterable).  Requires that all shards came from the same base
+        spec, that no global point index appears twice, and that the union
+        covers the full grid — so the merged result is bit-identical
+        (points, per-workload references, and the :meth:`rollup` counters,
+        which :meth:`~repro.core.runtime.RaptorRuntime.merge_snapshot`
+        accumulates from the per-point snapshots) to a serial unsharded
+        run.  Cache statistics are summed across shards.
+        """
+        if len(results) == 1 and not isinstance(results[0], cls):
+            results = tuple(results[0])
+        if not results:
+            raise ValueError("merge needs at least one SweepResult")
+        signature = cls._merge_signature(results[0].spec)
+        for other in results[1:]:
+            if cls._merge_signature(other.spec) != signature:
+                raise ValueError(
+                    "cannot merge results from different sweeps (grid, variables, "
+                    "rounding or workload configs disagree)"
+                )
+
+        merged_points: Dict[int, PointResult] = {}
+        references: Dict[str, ReferenceResult] = {}
+        for result in results:
+            for point in result.points:
+                if point.index in merged_points:
+                    raise ValueError(
+                        f"point index {point.index} appears in more than one shard"
+                    )
+                merged_points[point.index] = point
+            for name, ref in result.references.items():
+                references.setdefault(name, ref)
+
+        base = results[0].spec.unsharded()
+        expected = [p.index for p in base.full_grid()]
+        missing = sorted(set(expected) - set(merged_points))
+        if missing:
+            raise ValueError(
+                f"merged shards do not cover the full grid; missing point "
+                f"indices {missing} — run the remaining shard(s) first"
+            )
+
+        stats_list = [r.cache_stats for r in results if r.cache_stats is not None]
+        cache_stats = None
+        if stats_list:
+            cache_stats = {
+                key: sum(stats.get(key, 0) for stats in stats_list)
+                for key in sorted({key for stats in stats_list for key in stats})
+            }
+        return cls(
+            spec=base,
+            points=[merged_points[index] for index in expected],
+            references=references,
+            cache_stats=cache_stats,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -260,27 +383,68 @@ def _execute_point(task: _PointTask) -> PointResult:
 # ---------------------------------------------------------------------------
 # the engine
 # ---------------------------------------------------------------------------
-def run_sweep(spec: SweepSpec) -> SweepResult:
+def _resolve_cache(
+    spec: SweepSpec, cache: Union[ReferenceCache, str, None]
+) -> Optional[ReferenceCache]:
+    """The cache to use for a sweep: an explicit object, a directory given
+    by path (argument or ``spec.cache_dir``), or none."""
+    if isinstance(cache, ReferenceCache):
+        return cache
+    directory = cache if cache is not None else spec.cache_dir
+    if directory is None:
+        return None
+    return ReferenceCache(directory)
+
+
+def run_sweep(
+    spec: SweepSpec, cache: Union[ReferenceCache, str, None] = None
+) -> SweepResult:
     """Execute a precision sweep described by ``spec``.
 
-    Phase 1 runs the full-precision reference of every workload; phase 2
-    fans the sweep points out over the chosen backend, comparing each
-    truncated run against its workload's reference.  Results come back in
-    the deterministic grid order of :meth:`SweepSpec.points`.
+    Phase 1 obtains the full-precision reference of every workload — from
+    ``cache`` when one is given (a :class:`~repro.experiments.cache.ReferenceCache`
+    or a directory path; ``spec.cache_dir`` is the declarative spelling) and
+    by running reference tasks otherwise; with a warm cache zero reference
+    tasks launch.  Phase 2 fans the sweep points out over the chosen
+    backend, comparing each truncated run against its workload's reference.
+    Results come back in the deterministic grid order of
+    :meth:`SweepSpec.points` (the shard's slice when the spec is sharded).
     """
     spec.validate()
     points = spec.points()
+    ref_cache = _resolve_cache(spec, cache)
+    # cache stats reported on the result are *this run's* delta, so a cache
+    # object shared across sweeps still yields per-run hit/miss numbers
+    stats_before = ref_cache.stats.to_dict() if ref_cache is not None else None
+
+    # a sharded spec may not touch every workload of the base spec; only
+    # the workloads actually present in this slice need references
+    needed = list(dict.fromkeys(point.workload for point in points))
+
+    references: Dict[str, ReferenceResult] = {}
+    if ref_cache is not None:
+        keys = {name: reference_key(name, spec.config_kwargs(name)) for name in needed}
+        missing = []
+        for name in needed:
+            cached = ref_cache.get(keys[name])
+            if cached is not None:
+                references[name] = cached
+            else:
+                missing.append(name)
+    else:
+        keys = {}
+        missing = list(needed)
 
     reference_tasks = [
         _ReferenceTask(workload=name, config_kwargs=spec.config_kwargs(name))
-        for name in spec.workloads
+        for name in missing
     ]
-    references = {
-        ref.workload: ref
-        for ref in run_tasks(
-            _execute_reference, reference_tasks, backend=spec.backend, max_workers=spec.max_workers
-        )
-    }
+    for ref in run_tasks(
+        _execute_reference, reference_tasks, backend=spec.backend, max_workers=spec.max_workers
+    ):
+        references[ref.workload] = ref
+        if ref_cache is not None:
+            ref_cache.put(keys[ref.workload], ref)
 
     # every task carries its workload's reference arrays; at the checkpoint
     # sizes these experiments use (tens to hundreds of KB) re-pickling the
@@ -301,4 +465,13 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
     results = run_tasks(
         _execute_point, point_tasks, backend=spec.backend, max_workers=spec.max_workers
     )
-    return SweepResult(spec=spec, points=list(results), references=references)
+    cache_stats = None
+    if ref_cache is not None:
+        after = ref_cache.stats.to_dict()
+        cache_stats = {key: after[key] - stats_before[key] for key in after}
+    return SweepResult(
+        spec=spec,
+        points=list(results),
+        references=references,
+        cache_stats=cache_stats,
+    )

@@ -183,6 +183,13 @@ class SweepSpec:
     keep_states:
         Also return the final uniform-grid state of every point (larger
         results; off by default).
+    cache_dir:
+        Directory of the on-disk reference cache (see
+        :mod:`repro.experiments.cache`).  ``None`` disables caching unless
+        a cache object is passed to ``run_sweep`` directly.
+    shard_index / shard_count:
+        This spec's slice of the expanded grid.  The default ``0 / 1`` is
+        the whole grid; :meth:`shard` produces the partitioned copies.
     """
 
     workloads: Sequence[str] = ("sedov",)
@@ -194,6 +201,9 @@ class SweepSpec:
     backend: str = "serial"
     max_workers: Optional[int] = None
     keep_states: bool = False
+    cache_dir: Optional[str] = None
+    shard_index: int = 0
+    shard_count: int = 1
 
     # ------------------------------------------------------------------
     def resolved_formats(self) -> Tuple[FPFormat, ...]:
@@ -211,6 +221,12 @@ class SweepSpec:
             raise ValueError("SweepSpec needs at least one policy")
         if self.rounding not in RoundingMode.ALL:
             raise ValueError(f"unknown rounding mode {self.rounding!r}")
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if not (0 <= self.shard_index < self.shard_count):
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), got {self.shard_index}"
+            )
         if not self.variables:
             raise ValueError("SweepSpec needs at least one error variable")
         from ..workloads.base import PRIMITIVE_VARS
@@ -266,8 +282,9 @@ class SweepSpec:
                         f"invalid workload_configs for {name!r}: {exc}"
                     ) from None
 
-    def points(self) -> Tuple[SweepPoint, ...]:
-        """The sweep grid in deterministic order: workload → policy → format."""
+    def full_grid(self) -> Tuple[SweepPoint, ...]:
+        """The *complete* sweep grid (ignoring sharding), in deterministic
+        order: workload → policy → format."""
         formats = self.resolved_formats()
         grid = []
         index = 0
@@ -277,6 +294,44 @@ class SweepSpec:
                     grid.append(SweepPoint(index=index, workload=workload, fmt=fmt, policy=policy))
                     index += 1
         return tuple(grid)
+
+    def points(self) -> Tuple[SweepPoint, ...]:
+        """This spec's slice of the grid.
+
+        With the default ``shard_index=0, shard_count=1`` this is the whole
+        grid.  A sharded spec keeps every ``shard_count``-th point starting
+        at ``shard_index`` — a strided partition, so consecutive (same
+        workload, similar cost) points spread across shards and the shards
+        stay load-balanced.  Global point indices are preserved, which is
+        what lets :meth:`SweepResult.merge` reassemble shard outputs in the
+        original grid order.
+        """
+        grid = self.full_grid()
+        if self.shard_count == 1:
+            return grid
+        return tuple(p for p in grid if p.index % self.shard_count == self.shard_index)
+
+    def shard(self, index: int, count: int) -> "SweepSpec":
+        """The ``index``-th of ``count`` deterministic grid partitions.
+
+        Every point of :meth:`full_grid` lands in exactly one shard, so
+        running all ``count`` shards (on any mix of hosts/backends) and
+        merging with :meth:`~repro.experiments.engine.SweepResult.merge`
+        reproduces the unsharded sweep bit for bit.
+        """
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not (0 <= index < count):
+            raise ValueError(f"shard index must be in [0, {count}), got {index}")
+        if (self.shard_index, self.shard_count) != (0, 1):
+            raise ValueError("spec is already sharded; shard the unsharded base spec")
+        return replace(self, shard_index=index, shard_count=count)
+
+    def unsharded(self) -> "SweepSpec":
+        """The base spec covering the whole grid (identity when unsharded)."""
+        if (self.shard_index, self.shard_count) == (0, 1):
+            return self
+        return replace(self, shard_index=0, shard_count=1)
 
     def config_kwargs(self, workload: str) -> Dict[str, object]:
         """Config overrides for a workload, matching names alias-aware."""

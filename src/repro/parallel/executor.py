@@ -6,12 +6,26 @@ fans tasks out over a :class:`concurrent.futures.ProcessPoolExecutor`;
 :class:`SerialBackend` runs them in-process.  Both return results in task
 order, so a sweep produces the same :class:`~repro.experiments.SweepResult`
 regardless of the backend or the number of workers — the property the
-engine's tests pin down.
+engine's tests pin down.  This backend-independence is also what makes
+sweep *sharding* free-form: shards of one grid may run on different hosts
+with different backends and still merge bit-identically
+(see ``docs/architecture.md``).
 
 The process backend degrades gracefully: if worker processes cannot be
 created (restricted sandboxes, missing semaphores) or the pool breaks
 mid-flight, the remaining tasks are executed serially and a warning is
-emitted instead of failing the sweep.
+emitted instead of failing the sweep.  A worker killed abruptly (crash,
+OOM) is retried in a fresh pool rather than rerun in the parent; a task
+that deterministically kills fresh pools is surfaced as
+:class:`~concurrent.futures.process.BrokenProcessPool`.
+
+Entry points
+------------
+* :func:`run_tasks` — map a function over tasks on a backend chosen by
+  name (``"serial"`` / ``"process"``) or instance; the one call sites use.
+* :func:`get_backend` — resolve a backend name to an instance.
+* ``RAPTOR_FORCE_SERIAL=1`` — environment switch forcing the serial path
+  (CI runners without usable process pools).
 """
 from __future__ import annotations
 

@@ -9,7 +9,29 @@ workloads by name through this registry instead of hard-coding imports, so
 adding a scenario is a one-file change.
 
 Aliases let the command-line friendly short names ("kh", "rt", …) resolve to
-the same class as the canonical name.
+the same class as the canonical name.  :func:`canonical_name` is the
+alias-resolving entry point; everything keyed by workload downstream — the
+sweep grid, per-workload configs, and the reference cache's
+content-addressed keys (:func:`repro.experiments.cache.reference_key`) —
+canonicalises through it, so ``"kh"`` and ``"kelvin-helmholtz"`` always
+denote one workload, one config, one cache entry.
+
+The registry currently holds seven scenarios (sod, sedov,
+kelvin-helmholtz, rayleigh-taylor, double-blast, cellular, bubble); the
+gallery in ``docs/workloads.md`` describes each one, and
+``docs/experiments.md`` documents the registration protocol for new
+scenarios.
+
+Public API
+----------
+* :func:`register_workload` / :func:`unregister_workload` — add/remove a
+  class, directly or as a decorator; duplicate names raise
+  :class:`DuplicateWorkloadError`.
+* :func:`canonical_name` / :func:`get_workload_class` /
+  :func:`create_workload` — alias-aware lookup and instantiation; unknown
+  names raise :class:`UnknownWorkloadError` listing every registered
+  workload.
+* :func:`available_workloads` / :func:`workload_aliases` — introspection.
 """
 from __future__ import annotations
 

@@ -1,0 +1,276 @@
+"""Tests for the reference-run cache: keys, levels, hit/miss/invalidation
+semantics, and the warm-cache guarantee of ``run_sweep``."""
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PolicySpec,
+    ReferenceCache,
+    ReferenceKey,
+    SweepSpec,
+    reference_key,
+    run_sweep,
+    solver_fingerprint,
+)
+from repro.experiments.cache import MemoryLRU, NpzReferenceStore
+from repro.experiments.engine import ReferenceResult
+
+FAST = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2, t_end=0.005, rk_stages=1)
+
+
+def _spec(**overrides) -> SweepSpec:
+    base = dict(
+        workloads=["kelvin-helmholtz"],
+        formats=["fp64", "bf16"],
+        policies=[PolicySpec.everywhere(modules=("hydro",))],
+        workload_configs={"kelvin-helmholtz": FAST},
+        variables=("dens",),
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+def _reference(value: float = 1.0) -> ReferenceResult:
+    return ReferenceResult(
+        workload="kelvin-helmholtz",
+        info={"steps": 3.0, "time": 0.005},
+        runtime_snapshot={"ops": {"truncated": 0, "full": 7}},
+        state={"dens": np.full((4, 4), value), "pres": np.arange(16.0).reshape(4, 4)},
+        time=0.005,
+    )
+
+
+# ---------------------------------------------------------------------------
+# keys and fingerprints
+# ---------------------------------------------------------------------------
+class TestKeys:
+    def test_alias_and_canonical_share_a_key(self):
+        assert reference_key("kh", FAST) == reference_key("kelvin-helmholtz", FAST)
+
+    def test_explicit_defaults_share_a_key(self):
+        from repro.workloads import KelvinHelmholtzConfig
+
+        defaults = KelvinHelmholtzConfig(**FAST)
+        spelled_out = dict(FAST, gamma=defaults.gamma, cfl=defaults.cfl)
+        assert reference_key("kh", FAST) == reference_key("kh", spelled_out)
+
+    def test_different_configs_differ(self):
+        assert reference_key("kh", FAST) != reference_key("kh", dict(FAST, t_end=0.01))
+        assert reference_key("kh", FAST) != reference_key("sedov", FAST)
+
+    def test_grid_shape_and_steps_in_key(self):
+        key = reference_key("kh", FAST)
+        assert key.grid_shape == (32, 32)  # 2 roots * 8 cells * 2**(2-1)
+        assert key.n_steps == 0  # adaptive dt
+        fixed = reference_key("kh", dict(FAST, fixed_dt=0.001))
+        assert fixed.n_steps == 5
+        assert key.filename().startswith("kelvin-helmholtz-32x32-s0-")
+
+    def test_solver_fingerprint_is_stable_and_hex(self):
+        fp = solver_fingerprint()
+        assert fp == solver_fingerprint()
+        assert len(fp) == 64 and int(fp, 16) >= 0
+
+
+# ---------------------------------------------------------------------------
+# the two levels
+# ---------------------------------------------------------------------------
+class TestMemoryLRU:
+    def test_lru_evicts_least_recently_used(self):
+        lru = MemoryLRU(max_entries=2)
+        k = [ReferenceKey("w", f"h{i}", (4, 4), 0) for i in range(3)]
+        lru.put(k[0], "a")
+        lru.put(k[1], "b")
+        assert lru.get(k[0]) == "a"  # refresh k0
+        lru.put(k[2], "c")  # evicts k1, the least recently used
+        assert k[1] not in lru and k[0] in lru and k[2] in lru
+        assert lru.evictions == 1
+
+    def test_zero_entries_disables_the_level(self):
+        lru = MemoryLRU(max_entries=0)
+        key = ReferenceKey("w", "h", (4, 4), 0)
+        lru.put(key, "x")
+        assert lru.get(key) is None and len(lru) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLRU(max_entries=-1)
+
+
+class TestNpzStore:
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        store = NpzReferenceStore(tmp_path)
+        key = reference_key("kh", FAST)
+        ref = _reference(value=np.pi)
+        store.write(key, ref, "finger")
+        loaded, fingerprint = store.read(key)
+        assert fingerprint == "finger"
+        assert loaded.time == ref.time
+        assert loaded.info == ref.info
+        assert loaded.runtime_snapshot == ref.runtime_snapshot
+        for name in ref.state:
+            assert loaded.state[name].dtype == np.float64
+            np.testing.assert_array_equal(loaded.state[name], ref.state[name])
+
+    def test_missing_and_corrupt_entries_read_as_none(self, tmp_path):
+        store = NpzReferenceStore(tmp_path)
+        key = reference_key("kh", FAST)
+        assert store.read(key) is None
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).write_bytes(b"not an npz")
+        assert store.read(key) is None
+        # a zip magic number followed by garbage raises BadZipFile, not
+        # ValueError — it must also read as a miss, not crash the sweep
+        store.path_for(key).write_bytes(b"PK\x03\x04garbage")
+        assert store.read(key) is None
+        cache = ReferenceCache(tmp_path)
+        assert cache.get(key) is None and cache.stats.misses == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = NpzReferenceStore(tmp_path)
+        store.write(reference_key("kh", FAST), _reference(), "fp")
+        assert not list(tmp_path.glob("*.tmp*"))
+        assert len(store.entries()) == 1
+
+    def test_read_fingerprint_without_loading_state(self, tmp_path):
+        store = NpzReferenceStore(tmp_path)
+        key = reference_key("kh", FAST)
+        assert store.read_fingerprint(key) is None
+        store.write(key, _reference(), "fp-abc")
+        assert store.read_fingerprint(key) == "fp-abc"
+
+
+# ---------------------------------------------------------------------------
+# the combined cache
+# ---------------------------------------------------------------------------
+class TestReferenceCache:
+    def test_miss_put_hit(self, tmp_path):
+        cache = ReferenceCache(tmp_path)
+        key = reference_key("kh", FAST)
+        assert cache.get(key) is None
+        cache.put(key, _reference())
+        assert key in cache
+        assert cache.get(key) is not None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1 and cache.stats.stores == 1
+
+    def test_disk_persists_across_cache_objects(self, tmp_path):
+        key = reference_key("kh", FAST)
+        ReferenceCache(tmp_path).put(key, _reference())
+        fresh = ReferenceCache(tmp_path)
+        assert fresh.get(key) is not None
+        assert fresh.stats.hits == 1 and fresh.stats.misses == 0
+
+    def test_fingerprint_mismatch_invalidates_and_deletes(self, tmp_path):
+        key = reference_key("kh", FAST)
+        stale = ReferenceCache(tmp_path, fingerprint="old-physics")
+        stale.put(key, _reference())
+        current = ReferenceCache(tmp_path)
+        # membership agrees with get(): a stale entry is not 'in' the cache
+        assert key not in current
+        assert current.get(key) is None
+        assert current.stats.invalidations == 1 and current.stats.misses == 1
+        # the stale entry is gone from disk, not just skipped
+        assert current.disk.read(key) is None
+
+    def test_explicit_invalidate_and_clear(self, tmp_path):
+        cache = ReferenceCache(tmp_path)
+        key = reference_key("kh", FAST)
+        cache.put(key, _reference())
+        cache.invalidate(key)
+        assert key not in cache
+        cache.put(key, _reference())
+        cache.clear()
+        assert key not in cache and not cache.disk.entries()
+
+    def test_memory_only_cache(self):
+        cache = ReferenceCache(directory=None, max_memory_entries=2)
+        key = reference_key("kh", FAST)
+        cache.put(key, _reference())
+        assert cache.get(key) is not None
+
+    def test_lru_evictions_reported_in_stats(self):
+        cache = ReferenceCache(directory=None, max_memory_entries=2)
+        for t_end in (0.004, 0.005, 0.006):
+            cache.put(reference_key("kh", dict(FAST, t_end=t_end)), _reference())
+        assert cache.stats.evictions == 1
+        assert cache.stats.to_dict()["evictions"] == 1
+
+    def test_tilde_directory_expands_to_home(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        cache = ReferenceCache("~/refs")
+        cache.put(reference_key("kh", FAST), _reference())
+        assert (tmp_path / "refs").is_dir()
+        assert len(list((tmp_path / "refs").glob("*.npz"))) == 1
+
+    def test_no_levels_rejected(self):
+        with pytest.raises(ValueError, match="at least one level"):
+            ReferenceCache(directory=None, max_memory_entries=0)
+
+
+# ---------------------------------------------------------------------------
+# engine integration: the warm-cache guarantee
+# ---------------------------------------------------------------------------
+class TestCachedSweep:
+    @pytest.fixture(scope="class")
+    def warm_cache_and_cold_result(self, tmp_path_factory):
+        cache = ReferenceCache(tmp_path_factory.mktemp("refs"))
+        return cache, run_sweep(_spec(), cache=cache)
+
+    def test_cold_run_stores_the_reference(self, warm_cache_and_cold_result):
+        cache, result = warm_cache_and_cold_result
+        assert result.cache_stats["misses"] == 1
+        assert result.cache_stats["stores"] == 1
+        assert len(cache.disk.entries()) == 1
+
+    def test_warm_run_launches_zero_reference_tasks(
+        self, warm_cache_and_cold_result, monkeypatch
+    ):
+        from repro.experiments import engine
+
+        cache, cold = warm_cache_and_cold_result
+
+        def _boom(task):
+            raise AssertionError("reference task launched despite a warm cache")
+
+        monkeypatch.setattr(engine, "_execute_reference", _boom)
+        warm = run_sweep(_spec(), cache=cache)
+        # stats are per-run deltas even on a shared cache object
+        assert warm.cache_stats == {
+            "hits": 1, "misses": 0, "stores": 0, "invalidations": 0, "evictions": 0,
+        }
+        for cold_point, warm_point in zip(cold.points, warm.points):
+            assert cold_point.metrics_key() == warm_point.metrics_key()
+            assert cold_point.errors == warm_point.errors
+
+    def test_disk_round_trip_preserves_metrics_bitwise(
+        self, warm_cache_and_cold_result
+    ):
+        cache, cold = warm_cache_and_cold_result
+        # a fresh cache object reads the reference back through .npz only
+        disk_only = ReferenceCache(cache.disk.directory, max_memory_entries=0)
+        warm = run_sweep(_spec(), cache=disk_only)
+        assert warm.cache_stats == {
+            "hits": 1, "misses": 0, "stores": 0, "invalidations": 0, "evictions": 0,
+        }
+        for cold_point, warm_point in zip(cold.points, warm.points):
+            assert cold_point.metrics_key() == warm_point.metrics_key()
+
+    def test_spec_cache_dir_field_enables_caching(self, tmp_path):
+        spec = _spec(cache_dir=str(tmp_path))
+        first = run_sweep(spec)
+        second = run_sweep(spec)
+        assert first.cache_stats["misses"] == 1
+        assert second.cache_stats == {
+            "hits": 1, "misses": 0, "stores": 0, "invalidations": 0, "evictions": 0,
+        }
+
+    def test_uncached_sweep_reports_no_stats(self):
+        assert run_sweep(_spec(formats=["bf16"])).cache_stats is None
+
+    def test_result_to_dict_includes_cache_stats(self, warm_cache_and_cold_result):
+        import json
+
+        _, cold = warm_cache_and_cold_result
+        payload = cold.to_dict()
+        assert payload["cache"]["misses"] == 1
+        assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,185 @@
+"""Tests for sweep sharding: deterministic grid partitioning, shard
+execution, persistence, and bit-identical recombination via
+``SweepResult.merge``."""
+import pytest
+
+from repro.experiments import PolicySpec, SweepResult, SweepSpec, run_sweep
+
+FAST = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2, t_end=0.005, rk_stages=1)
+
+
+def _spec(**overrides) -> SweepSpec:
+    base = dict(
+        workloads=["kelvin-helmholtz"],
+        formats=["fp64", "fp32", "bf16", "fp16"],
+        policies=[PolicySpec.everywhere(modules=("hydro",))],
+        workload_configs={"kelvin-helmholtz": FAST},
+        variables=("dens",),
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# partitioning
+# ---------------------------------------------------------------------------
+class TestShardSpec:
+    def test_shards_partition_the_grid(self):
+        spec = _spec(
+            workloads=["kelvin-helmholtz", "sedov"],
+            formats=["fp64", "fp32", "bf16"],
+            workload_configs={},
+        )
+        full = spec.full_grid()
+        seen = []
+        for i in range(4):
+            shard_points = spec.shard(i, 4).points()
+            seen.extend(p.index for p in shard_points)
+            # global indices are preserved, not renumbered
+            for p in shard_points:
+                assert full[p.index] == p
+        assert sorted(seen) == [p.index for p in full]
+        assert len(seen) == len(set(seen))
+
+    def test_strided_partition_balances_workloads(self):
+        # consecutive points belong to the same workload, so a strided
+        # partition gives every shard points from every workload
+        spec = _spec(
+            workloads=["kelvin-helmholtz", "sedov"],
+            formats=["fp64", "fp32"],
+            workload_configs={},
+        )
+        for i in range(2):
+            workloads = {p.workload for p in spec.shard(i, 2).points()}
+            assert workloads == {"kelvin-helmholtz", "sedov"}
+
+    def test_single_shard_is_the_full_grid(self):
+        spec = _spec()
+        assert spec.shard(0, 1).points() == spec.points()
+
+    def test_shard_validation(self):
+        spec = _spec()
+        with pytest.raises(ValueError):
+            spec.shard(0, 0)
+        with pytest.raises(ValueError):
+            spec.shard(4, 4)
+        with pytest.raises(ValueError):
+            spec.shard(-1, 4)
+        with pytest.raises(ValueError, match="already sharded"):
+            spec.shard(0, 2).shard(0, 2)
+
+    def test_sharded_spec_fails_validate_on_bad_fields(self):
+        from dataclasses import replace
+
+        spec = replace(_spec(), shard_index=3, shard_count=2)
+        with pytest.raises(ValueError, match="shard_index"):
+            spec.validate()
+
+    def test_unsharded_round_trip(self):
+        spec = _spec()
+        shard = spec.shard(1, 3)
+        assert shard.unsharded() == spec
+        assert spec.unsharded() is spec
+
+
+# ---------------------------------------------------------------------------
+# execution + merge (the acceptance criterion: bitwise identity)
+# ---------------------------------------------------------------------------
+class TestShardedExecution:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return run_sweep(_spec())
+
+    @pytest.fixture(scope="class")
+    def shard_results(self):
+        return [run_sweep(_spec().shard(i, 4)) for i in range(4)]
+
+    def test_each_shard_runs_only_its_slice(self, shard_results):
+        for i, result in enumerate(shard_results):
+            assert len(result) == 1
+            assert result.points[0].index % 4 == i
+
+    def test_merge_is_bitwise_identical_to_unsharded(self, serial_result, shard_results):
+        merged = SweepResult.merge(*shard_results)
+        assert len(merged) == len(serial_result)
+        for serial_point, merged_point in zip(serial_result.points, merged.points):
+            assert serial_point.metrics_key() == merged_point.metrics_key()
+            assert serial_point.errors == merged_point.errors
+            # the full counter snapshots, not just the summary metrics
+            assert serial_point.runtime_snapshot == merged_point.runtime_snapshot
+
+    def test_merged_rollup_matches_unsharded(self, serial_result, shard_results):
+        merged = SweepResult.merge(*shard_results)
+        assert merged.rollup().snapshot() == serial_result.rollup().snapshot()
+
+    def test_merge_accepts_any_order_and_iterables(self, serial_result, shard_results):
+        merged = SweepResult.merge(reversed(shard_results))
+        assert [p.index for p in merged.points] == [p.index for p in serial_result.points]
+
+    def test_merged_spec_is_the_unsharded_base(self, shard_results):
+        merged = SweepResult.merge(*shard_results)
+        assert (merged.spec.shard_index, merged.spec.shard_count) == (0, 1)
+
+    def test_save_load_round_trip(self, shard_results, tmp_path):
+        paths = [
+            result.save(tmp_path / f"shard{i}.pkl")
+            for i, result in enumerate(shard_results)
+        ]
+        loaded = [SweepResult.load(path) for path in paths]
+        merged = SweepResult.merge(*loaded)
+        original = SweepResult.merge(*shard_results)
+        for a, b in zip(original.points, merged.points):
+            assert a.metrics_key() == b.metrics_key()
+            assert a.runtime_snapshot == b.runtime_snapshot
+
+    def test_references_only_for_workloads_in_the_slice(self):
+        spec = _spec(
+            workloads=["kelvin-helmholtz", "sedov"],
+            formats=["bf16"],
+            workload_configs={
+                "kelvin-helmholtz": FAST,
+                "sedov": FAST,
+            },
+        )
+        # 2 points: index 0 = kh, index 1 = sedov; each shard needs one ref
+        shard0 = run_sweep(spec.shard(0, 2))
+        assert set(shard0.references) == {"kelvin-helmholtz"}
+        shard1 = run_sweep(spec.shard(1, 2))
+        assert set(shard1.references) == {"sedov"}
+        merged = SweepResult.merge(shard0, shard1)
+        assert set(merged.references) == {"kelvin-helmholtz", "sedov"}
+
+
+# ---------------------------------------------------------------------------
+# merge error handling
+# ---------------------------------------------------------------------------
+class TestMergeValidation:
+    @pytest.fixture(scope="class")
+    def two_shards(self):
+        spec = _spec(formats=["fp64", "bf16"])
+        return [run_sweep(spec.shard(i, 2)) for i in range(2)]
+
+    def test_duplicate_points_rejected(self, two_shards):
+        with pytest.raises(ValueError, match="more than one shard"):
+            SweepResult.merge(two_shards[0], two_shards[0], two_shards[1])
+
+    def test_missing_shards_rejected(self, two_shards):
+        with pytest.raises(ValueError, match="missing point"):
+            SweepResult.merge(two_shards[0])
+
+    def test_mismatched_specs_rejected(self, two_shards):
+        other = run_sweep(_spec(formats=["fp32", "fp16"]).shard(1, 2))
+        with pytest.raises(ValueError, match="different sweeps"):
+            SweepResult.merge(two_shards[0], other)
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SweepResult.merge()
+
+    def test_backend_mismatch_is_allowed(self, two_shards):
+        # shards may run on heterogeneous hosts/backends; metrics are
+        # backend-independent so the merge must accept this
+        spec = _spec(formats=["fp64", "bf16"]).shard(1, 2).with_backend("process", 2)
+        process_shard = run_sweep(spec)
+        merged = SweepResult.merge(two_shards[0], process_shard)
+        assert len(merged) == 2
