@@ -1,0 +1,87 @@
+"""Adaptive cliff search vs fixed-grid sweep: point counts and wall-clock.
+
+The adaptive search promises the same cliff as an exhaustive mantissa grid
+with O(log n) instead of O(n) runs.  This benchmark measures both on the
+cellular detonation (the paper's Hypothesis-2 experiment: at how few EOS
+mantissa bits does the Newton inversion stop converging?) and records the
+comparison to ``benchmarks/results/BENCH_adaptive.json``.
+"""
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core import RaptorRuntime
+from repro.core.fpformat import FPFormat
+from repro.experiments import PolicySpec, find_cliff
+from repro.experiments.adaptive import max_bisection_runs
+from repro.workloads import CellularConfig, CellularWorkload
+
+from conftest import RESULTS_DIR, print_table
+
+MIN_BITS, MAX_BITS = 8, 48
+CELLULAR = dict(n_cells=32, n_steps=8)
+
+
+def run_experiment():
+    workload = CellularWorkload(CellularConfig(**CELLULAR))
+    policy = PolicySpec.module("eos")
+    reference = workload.reference().detach()
+
+    # fixed grid: every mantissa width in range
+    t0 = time.perf_counter()
+    grid_cliff = None
+    grid_points = 0
+    for man_bits in range(MIN_BITS, MAX_BITS + 1):
+        rt = RaptorRuntime()
+        outcome = workload.run(policy=policy.build(FPFormat(11, man_bits), rt), runtime=rt)
+        grid_points += 1
+        if grid_cliff is None and workload.acceptable(outcome, reference):
+            grid_cliff = man_bits
+    grid_seconds = time.perf_counter() - t0
+
+    # adaptive: bisection over the same range
+    t0 = time.perf_counter()
+    cliff = find_cliff(
+        workload, policy, min_man_bits=MIN_BITS, max_man_bits=MAX_BITS, reference=reference
+    )
+    bisect_seconds = time.perf_counter() - t0
+
+    return {
+        "workload": "cellular",
+        "policy": policy.describe(),
+        "bits_range": [MIN_BITS, MAX_BITS],
+        "grid_cliff_man_bits": grid_cliff,
+        "bisect_cliff_man_bits": cliff.cliff_man_bits,
+        "grid_points": grid_points,
+        "bisect_points": cliff.n_runs,
+        "bisect_point_bound": max_bisection_runs(MIN_BITS, MAX_BITS),
+        "grid_seconds": grid_seconds,
+        "bisect_seconds": bisect_seconds,
+        "speedup": grid_seconds / bisect_seconds if bisect_seconds > 0 else float("inf"),
+    }
+
+
+@pytest.mark.benchmark(group="adaptive")
+def test_bench_adaptive_vs_fixed_grid(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        "Adaptive cliff search vs fixed grid — Cellular EOS truncation",
+        ["method", "cliff", "runs", "seconds"],
+        [
+            ["fixed grid", f"m{record['grid_cliff_man_bits']}",
+             record["grid_points"], f"{record['grid_seconds']:.2f}"],
+            ["bisection", f"m{record['bisect_cliff_man_bits']}",
+             record["bisect_points"], f"{record['bisect_seconds']:.2f}"],
+        ],
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with open(RESULTS_DIR / "BENCH_adaptive.json", "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+
+    # both methods find the same cliff; bisection within its O(log n) bound
+    assert record["bisect_cliff_man_bits"] == record["grid_cliff_man_bits"]
+    assert record["bisect_points"] <= record["bisect_point_bound"]
+    assert record["bisect_points"] < record["grid_points"]

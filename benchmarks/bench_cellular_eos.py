@@ -33,10 +33,10 @@ def run_experiment():
         {
             "man_bits": 52,
             "policy": "none",
-            "converged": reference.eos_converged,
-            "failed_steps": reference.failed_newton_steps,
-            "burned_fraction": reference.final_burned_fraction,
-            "front_advance": reference.front_positions[-1] - reference.front_positions[0],
+            "converged": bool(reference.info["eos_converged"]),
+            "failed_steps": int(reference.info["failed_newton_steps"]),
+            "burned_fraction": reference.info["final_burned_fraction"],
+            "front_advance": reference.info["front_advance"],
         }
     )
 
@@ -48,10 +48,10 @@ def run_experiment():
             {
                 "man_bits": man_bits,
                 "policy": "eos-truncated",
-                "converged": result.eos_converged,
-                "failed_steps": result.failed_newton_steps,
-                "burned_fraction": result.final_burned_fraction,
-                "front_advance": result.front_positions[-1] - result.front_positions[0],
+                "converged": bool(result.info["eos_converged"]),
+                "failed_steps": int(result.info["failed_newton_steps"]),
+                "burned_fraction": result.info["final_burned_fraction"],
+                "front_advance": result.info["front_advance"],
             }
         )
 
@@ -65,10 +65,10 @@ def run_experiment():
         {
             "man_bits": 10,
             "policy": "eos-truncated-relaxed-tolerance",
-            "converged": result.eos_converged,
-            "failed_steps": result.failed_newton_steps,
-            "burned_fraction": result.final_burned_fraction,
-            "front_advance": result.front_positions[-1] - result.front_positions[0],
+            "converged": bool(result.info["eos_converged"]),
+            "failed_steps": int(result.info["failed_newton_steps"]),
+            "burned_fraction": result.info["final_burned_fraction"],
+            "front_advance": result.info["front_advance"],
         }
     )
     return records

@@ -43,21 +43,19 @@ def _workload() -> BubbleWorkload:
 
 def run_experiment():
     workload = _workload()
-    reference = workload.run("none", 52)
+    reference = workload.run_strategy("none", 52)
     records = []
     for man_bits in MANTISSAS:
         for strategy in STRATEGIES:
-            result = workload.run(strategy, man_bits)
+            result = workload.run_strategy(strategy, man_bits)
             records.append(
                 {
                     "strategy": strategy,
                     "man_bits": man_bits,
-                    "interface_deviation": result.interface_deviation(reference),
-                    "gas_volume": result.gas_volume,
-                    "fragments": result.fragments,
-                    "centroid_rise": result.centroid_history[-1] - result.centroid_history[0]
-                    if result.centroid_history
-                    else 0.0,
+                    "interface_deviation": workload.error(result, reference),
+                    "gas_volume": result.info["gas_volume"],
+                    "fragments": int(result.info["fragments"]),
+                    "centroid_rise": result.info["centroid_rise"],
                     "truncated_ops": result.runtime.ops.truncated,
                 }
             )
@@ -65,11 +63,9 @@ def run_experiment():
         "strategy": "none",
         "man_bits": 52,
         "interface_deviation": 0.0,
-        "gas_volume": reference.gas_volume,
-        "fragments": reference.fragments,
-        "centroid_rise": reference.centroid_history[-1] - reference.centroid_history[0]
-        if reference.centroid_history
-        else 0.0,
+        "gas_volume": reference.info["gas_volume"],
+        "fragments": int(reference.info["fragments"]),
+        "centroid_rise": reference.info["centroid_rise"],
         "truncated_ops": 0,
     }
     return [ref_record] + records

@@ -47,38 +47,37 @@ def main() -> None:
     )
 
     print("Spin-up + full-precision reference ...")
-    reference = workload.run("none", 52)
+    reference = workload.run_strategy("none", 52)
 
     cases = [("everywhere", 4), ("everywhere", 12), ("cutoff-1", 4), ("cutoff-2", 4)]
     rows = []
     results = {}
     for strategy, man_bits in cases:
         print(f"Running strategy={strategy!r}, mantissa={man_bits} bits ...")
-        result = workload.run(strategy, man_bits)
+        result = workload.run_strategy(strategy, man_bits)
         results[(strategy, man_bits)] = result
         rows.append(
             [
                 strategy,
                 man_bits,
-                f"{result.interface_deviation(reference):.3e}",
-                f"{result.gas_volume:.4f}",
-                result.fragments,
+                f"{workload.error(result, reference):.3e}",
+                f"{result.info['gas_volume']:.4f}",
+                int(result.info["fragments"]),
             ]
         )
 
     print()
     print(format_table(
         ["strategy", "mantissa bits", "interface deviation", "gas volume", "fragments"],
-        [["none (reference)", 52, "0", f"{reference.gas_volume:.4f}", reference.fragments]] + rows,
+        [["none (reference)", 52, "0", f"{reference.info['gas_volume']:.4f}", int(reference.info["fragments"])]] + rows,
     ))
 
-    t_final = max(reference.snapshots)
     print("\nReference interface (phi > 0 shown as '#'):")
-    print(ascii_interface(reference.snapshots[t_final]))
+    print(ascii_interface(reference.state["phi"]))
     print("\n4-bit mantissa, truncated everywhere:")
-    print(ascii_interface(results[("everywhere", 4)].snapshots[t_final]))
+    print(ascii_interface(results[("everywhere", 4)].state["phi"]))
     print("\n12-bit mantissa, truncated everywhere:")
-    print(ascii_interface(results[("everywhere", 12)].snapshots[t_final]))
+    print(ascii_interface(results[("everywhere", 12)].state["phi"]))
     print(
         "\nAs in Figure 1 of the paper, 4-bit truncation visibly distorts the\n"
         "interface while 12 bits (or restricting truncation to cells away\n"

@@ -1,12 +1,15 @@
 """Precision-sweep quickstart: the whole experimental loop in one call.
 
-Sweeps the instability workloads across truncated formats through the
-declarative engine — reference runs, truncated runs, sfocu error norms and
+Sweeps any registered workload across truncated formats through the
+declarative engine — reference runs, truncated runs, error norms and
 operation-counter roll-ups included — and prints the result table:
 
     PYTHONPATH=src python examples/sweep_quickstart.py
 
 Useful variations::
+
+    # what can I sweep?  every registry entry with config class + metrics
+    python examples/sweep_quickstart.py --list-workloads
 
     # the full instability suite on all four standard formats, in parallel
     python examples/sweep_quickstart.py \
@@ -17,12 +20,25 @@ Useful variations::
     python examples/sweep_quickstart.py --workloads kh --formats fp32,bf16 \
         --max-level 2 --t-end 0.005 --backend process
 
+    # the cellular detonation through the same engine (module-selective
+    # truncation of the EOS, per-workload config overrides)
+    python examples/sweep_quickstart.py --workloads cellular \
+        --formats e11m46,e11m20 --policy module --modules eos \
+        --config cellular:n_cells=32 --config cellular:n_steps=8
+
+    # adaptive mode: bisect the mantissa axis to the precision cliff in
+    # O(log n) runs instead of sweeping a fixed grid
+    python examples/sweep_quickstart.py --adaptive --workloads cellular \
+        --policy module --modules eos --min-bits 8 --max-bits 48 \
+        --config cellular:n_cells=32 --config cellular:n_steps=8
+
     # cache the full-precision references: the second invocation reports
     # cache hits and launches zero reference tasks
     python examples/sweep_quickstart.py --cache-dir .raptor-refs
     python examples/sweep_quickstart.py --cache-dir .raptor-refs
 
     # shard a grid across hosts, then reassemble bit-identically
+    # (works for both fixed-grid and --adaptive runs)
     python examples/sweep_quickstart.py --shard 0/4 --out shard0.pkl   # host A
     python examples/sweep_quickstart.py --shard 1/4 --out shard1.pkl   # host B
     ...
@@ -32,11 +48,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import sys
 
 from repro.core import format_table
-from repro.experiments import CacheStats, PolicySpec, SweepResult, SweepSpec, run_sweep
-from repro.workloads import available_workloads
+from repro.experiments import (
+    AdaptiveResult,
+    AdaptiveSpec,
+    CacheStats,
+    PolicySpec,
+    SweepResult,
+    SweepSpec,
+    run_adaptive_sweep,
+    run_sweep,
+)
+from repro.workloads import CompressibleWorkload, describe_workloads, get_workload_class
 
 
 def parse_shard(text: str):
@@ -53,12 +79,32 @@ def parse_shard(text: str):
     return index, count
 
 
+def parse_config_override(text: str):
+    """Parse ``--config workload:key=value`` (value via JSON, else string)."""
+    workload, sep, assignment = text.partition(":")
+    key, eq, value = assignment.partition("=")
+    if not sep or not eq or not workload.strip() or not key.strip():
+        raise argparse.ArgumentTypeError(
+            f"config override must look like 'workload:key=value', got {text!r}"
+        )
+    try:
+        parsed = json.loads(value)
+    except json.JSONDecodeError:
+        parsed = value
+    return workload.strip(), key.strip(), parsed
+
+
 def parse_args() -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="print every registry entry (config class, metrics, description) and exit",
+    )
+    parser.add_argument(
         "--workloads",
         default="kh,rt,double-blast",
-        help="comma-separated registry names (known: %s)" % ", ".join(available_workloads()),
+        help="comma-separated registry names (try --list-workloads)",
     )
     parser.add_argument(
         "--formats",
@@ -67,15 +113,52 @@ def parse_args() -> argparse.Namespace:
     )
     parser.add_argument(
         "--policy",
-        default="global",
-        choices=["global", "m-1", "m-2"],
-        help="truncation policy applied to the hydro module",
+        default=None,
+        choices=["global", "m-1", "m-2", "module"],
+        help="truncation policy applied to --modules (default: global; "
+        "in --adaptive mode, omitting both --policy and --modules targets "
+        "each workload's own default modules)",
+    )
+    parser.add_argument(
+        "--modules",
+        default=None,
+        help="comma-separated physics modules the policy truncates "
+        "(default hydro; eos for cellular, advection,diffusion for bubble)",
+    )
+    parser.add_argument(
+        "--variables",
+        default=None,
+        help="comma-separated error variables; default: each workload's own",
     )
     parser.add_argument("--backend", default="serial", choices=["serial", "process"])
     parser.add_argument("--max-workers", type=int, default=None)
     parser.add_argument("--max-level", type=int, default=3, help="AMR levels (8x8 blocks)")
     parser.add_argument("--t-end", type=float, default=None, help="override simulated end time")
+    parser.add_argument(
+        "--config",
+        action="append",
+        type=parse_config_override,
+        default=[],
+        metavar="WORKLOAD:KEY=VALUE",
+        help="per-workload config override (repeatable), e.g. cellular:n_cells=32",
+    )
     parser.add_argument("--json", action="store_true", help="emit the result as JSON")
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="bisect the mantissa axis to each workload's precision cliff "
+        "instead of sweeping the fixed format grid",
+    )
+    parser.add_argument("--min-bits", type=int, default=4, help="adaptive: smallest mantissa")
+    parser.add_argument("--max-bits", type=int, default=48, help="adaptive: widest mantissa")
+    parser.add_argument("--exp-bits", type=int, default=11, help="adaptive: exponent width")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="adaptive: error threshold of the failure predicate "
+        "(default: each workload's own, e.g. cellular's physics invariant)",
+    )
     parser.add_argument(
         "--cache-dir",
         default=None,
@@ -101,12 +184,46 @@ def parse_args() -> argparse.Namespace:
         nargs="+",
         default=None,
         metavar="SHARD.pkl",
-        help="merge shard results saved with --out instead of running a sweep",
+        help="merge shard results saved with --out instead of running anything",
     )
     return parser.parse_args()
 
 
-def report(result: SweepResult, args: argparse.Namespace, merged: bool = False) -> None:
+def list_workloads() -> None:
+    rows = []
+    for row in describe_workloads():
+        rows.append(
+            [
+                row["name"],
+                ",".join(row["aliases"]) or "-",
+                row["kind"],
+                row["config_class"],
+                ",".join(row["error_variables"]),
+                row["description"],
+            ]
+        )
+    print(format_table(
+        ["workload", "aliases", "kind", "config", "error variables", "description"], rows
+    ))
+
+
+def build_workload_configs(args: argparse.Namespace, workloads) -> dict:
+    """Compressible workloads get the grid flags; --config overrides apply
+    to any workload and win over the flag-derived values."""
+    compressible = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2,
+                        max_level=args.max_level, rk_stages=1)
+    if args.t_end is not None:
+        compressible["t_end"] = args.t_end
+    configs = {}
+    for name in workloads:
+        if issubclass(get_workload_class(name), CompressibleWorkload):
+            configs[name] = dict(compressible)
+    for workload, key, value in args.config:
+        configs.setdefault(workload, {})[key] = value
+    return configs
+
+
+def report_sweep(result: SweepResult, args: argparse.Namespace, merged: bool = False) -> None:
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return
@@ -135,8 +252,34 @@ def report(result: SweepResult, args: argparse.Namespace, merged: bool = False) 
         print("reference cache: " + CacheStats(**result.cache_stats).describe())
 
 
+def report_adaptive(result: AdaptiveResult, args: argparse.Namespace, merged: bool = False) -> None:
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return
+    source = "reassembled from shards" if merged else f"on the {result.spec.backend} backend"
+    print(f"\n=== adaptive cliff search: {len(result)} cell(s) {source} ===")
+    print(result.table())
+    grid_total = sum(c.grid_points for c in result.cliffs)
+    print(f"total runs: {result.total_runs} (vs {grid_total} for the fixed grids)")
+    if result.cache_stats is not None:
+        print("reference cache: " + CacheStats(**result.cache_stats).describe())
+
+
+def load_result(path):
+    """Load a shard file saved with --out (sweep or adaptive)."""
+    with open(path, "rb") as fh:
+        result = pickle.load(fh)
+    if not isinstance(result, (SweepResult, AdaptiveResult)):
+        raise SystemExit(f"{path} holds a {type(result).__name__}, not a sweep/adaptive result")
+    return result
+
+
 def main() -> None:
     args = parse_args()
+
+    if args.list_workloads:
+        list_workloads()
+        return
 
     def note(message: str) -> None:
         # keep stdout pure JSON under --json; progress notes go to stderr
@@ -145,42 +288,78 @@ def main() -> None:
     if args.merge is not None:
         if args.shard is not None:
             raise SystemExit("--merge and --shard are mutually exclusive")
-        merged = SweepResult.merge(SweepResult.load(path) for path in args.merge)
-        note(f"merged {len(args.merge)} shard file(s) into {len(merged)} points")
-        report(merged, args, merged=True)
+        shards = [load_result(path) for path in args.merge]
+        kinds = {type(s) for s in shards}
+        if len(kinds) > 1:
+            raise SystemExit("--merge cannot mix sweep and adaptive shard files")
+        merged = kinds.pop().merge(shards)
+        if isinstance(merged, AdaptiveResult):
+            note(f"merged {len(args.merge)} shard file(s) into {len(merged)} cells")
+            report_adaptive(merged, args, merged=True)
+        else:
+            note(f"merged {len(args.merge)} shard file(s) into {len(merged)} points")
+            report_sweep(merged, args, merged=True)
         if args.out:
             merged.save(args.out)
             note(f"saved merged result to {args.out}")
         return
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
-    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
-    policy = {
-        "global": PolicySpec.everywhere(modules=("hydro",)),
-        "m-1": PolicySpec.amr_cutoff(1, modules=("hydro",)),
-        "m-2": PolicySpec.amr_cutoff(2, modules=("hydro",)),
-    }[args.policy]
 
-    config = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2,
-                  max_level=args.max_level, rk_stages=1)
-    if args.t_end is not None:
-        config["t_end"] = args.t_end
+    def build_policy() -> PolicySpec:
+        modules = tuple(
+            m.strip() for m in (args.modules or "hydro").split(",") if m.strip()
+        ) or None
+        return {
+            "global": PolicySpec.everywhere(modules=modules),
+            "m-1": PolicySpec.amr_cutoff(1, modules=modules),
+            "m-2": PolicySpec.amr_cutoff(2, modules=modules),
+            "module": PolicySpec.module(*(modules or ("hydro",))),
+        }[args.policy or "global"]
 
-    spec = SweepSpec(
-        workloads=workloads,
-        formats=formats,
-        policies=[policy],
-        workload_configs={name: dict(config) for name in workloads},
-        variables=("dens", "pres"),
-        backend=args.backend,
-        max_workers=args.max_workers,
-        cache_dir=args.cache_dir,
-    )
-    if args.shard is not None:
-        spec = spec.shard(*args.shard)
+    workload_configs = build_workload_configs(args, workloads)
 
-    result = run_sweep(spec)
-    report(result, args)
+    if args.adaptive:
+        # with neither --policy nor --modules given, let each workload's
+        # default_modules pick the truncation target (a fixed hydro policy
+        # would truncate nothing for cellular/bubble)
+        explicit = args.policy is not None or args.modules is not None
+        spec = AdaptiveSpec(
+            workloads=workloads,
+            policies=[build_policy()] if explicit else None,
+            min_man_bits=args.min_bits,
+            max_man_bits=args.max_bits,
+            exp_bits=args.exp_bits,
+            threshold=args.threshold,
+            workload_configs=workload_configs,
+            backend=args.backend,
+            max_workers=args.max_workers,
+            cache_dir=args.cache_dir,
+        )
+        if args.shard is not None:
+            spec = spec.shard(*args.shard)
+        result = run_adaptive_sweep(spec)
+        report_adaptive(result, args)
+    else:
+        formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+        variables = None
+        if args.variables is not None:
+            variables = tuple(v.strip() for v in args.variables.split(",") if v.strip())
+        spec = SweepSpec(
+            workloads=workloads,
+            formats=formats,
+            policies=[build_policy()],
+            workload_configs=workload_configs,
+            variables=variables,
+            backend=args.backend,
+            max_workers=args.max_workers,
+            cache_dir=args.cache_dir,
+        )
+        if args.shard is not None:
+            spec = spec.shard(*args.shard)
+        result = run_sweep(spec)
+        report_sweep(result, args)
+
     if args.out:
         result.save(args.out)
         note(f"saved result to {args.out}")

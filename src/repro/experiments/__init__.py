@@ -14,7 +14,7 @@ operations — is packaged here as a reusable engine:
 ... ))
 >>> print(result.table())
 
-The package splits into three modules:
+The package splits into four modules:
 
 * :mod:`~repro.experiments.spec`   — the declarative surface.
   :class:`SweepSpec` names workloads (registry keys), formats, and
@@ -29,11 +29,29 @@ The package splits into three modules:
   :class:`ReferenceCache` is a content-addressed, fingerprint-invalidated
   store (in-memory LRU over on-disk ``.npz``) consulted by ``run_sweep``
   so repeated sweeps launch zero reference tasks.
+* :mod:`~repro.experiments.adaptive` — the precision-cliff search.
+  :func:`find_cliff` bisects the mantissa axis of one (workload, policy)
+  pair in O(log n) runs; :func:`run_adaptive_sweep` drives it across a
+  workload × policy grid with the same cache/shard/backend machinery.
+
+All of this works uniformly across every registered workload because each
+one implements the scenario protocol of :mod:`repro.workloads.scenario`
+(``run``/``reference`` → :class:`~repro.workloads.scenario.Outcome`,
+plus a workload-specific ``error`` metric and failure predicate).
 
 See ``docs/experiments.md`` for the full protocol, ``docs/architecture.md``
 for where each module sits in the system, and ``docs/workloads.md`` for the
 scenario gallery.
 """
+from .adaptive import (
+    AdaptiveCell,
+    AdaptiveResult,
+    AdaptiveSpec,
+    CliffEvaluation,
+    CliffResult,
+    find_cliff,
+    run_adaptive_sweep,
+)
 from .cache import (
     CacheStats,
     ReferenceCache,
@@ -41,7 +59,7 @@ from .cache import (
     reference_key,
     solver_fingerprint,
 )
-from .engine import PointResult, ReferenceResult, SweepResult, run_sweep
+from .engine import PointResult, ReferenceResult, SweepResult, gather_references, run_sweep
 from .spec import PolicySpec, SweepPoint, SweepSpec, format_label, resolve_format
 
 __all__ = [
@@ -52,6 +70,7 @@ __all__ = [
     "ReferenceResult",
     "SweepResult",
     "run_sweep",
+    "gather_references",
     "resolve_format",
     "format_label",
     "ReferenceCache",
@@ -59,4 +78,12 @@ __all__ = [
     "CacheStats",
     "reference_key",
     "solver_fingerprint",
+    # adaptive cliff search
+    "AdaptiveCell",
+    "AdaptiveSpec",
+    "AdaptiveResult",
+    "CliffEvaluation",
+    "CliffResult",
+    "find_cliff",
+    "run_adaptive_sweep",
 ]

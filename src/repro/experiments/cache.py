@@ -16,12 +16,17 @@ the sweep inputs — never from anything produced by the run itself:
 * ``config_hash`` — SHA-256 over the fully resolved config dataclass
   (defaults included), so two kwarg spellings of the same effective
   configuration also share one entry;
-* ``grid_shape`` — the finest covering-grid cells, kept explicit in the key
+* ``grid_shape`` — the finest covering-grid cells (every workload config
+  exposes ``finest_cells``: 2-D for compressible AMR, 1-D for the cellular
+  detonation, (nx, ny) for the bubble solver), kept explicit in the key
   (and the filename) so operators can see at a glance which resolution an
   entry holds;
-* ``n_steps`` — the fixed step count when the config pins ``fixed_dt``,
-  ``0`` for adaptive time stepping (where the step count is an output, and
-  already determined by the hashed config).
+* ``n_steps`` — the config's explicit step count when it has one (the
+  cellular detonation), else the fixed step count when the config pins
+  ``fixed_dt`` against a time horizon (``t_end`` for the compressible
+  workloads, ``truncation_time`` for bubble), ``0`` for adaptive time
+  stepping (where the step count is an output, and already determined by
+  the hashed config).
 
 Invalidation
 ------------
@@ -138,31 +143,44 @@ def _config_digest(config: object) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def reference_key(workload: str, config_kwargs: Optional[Mapping[str, object]] = None) -> ReferenceKey:
+def reference_key(
+    workload: str,
+    config_kwargs: Optional[Mapping[str, object]] = None,
+    *,
+    config: Optional[object] = None,
+) -> ReferenceKey:
     """Build the cache key of a workload's reference run.
 
-    The key is computed from the *resolved* config (the workload's
-    ``config_class`` instantiated with ``config_kwargs``), so passing
-    default values explicitly yields the same key as omitting them.
+    The key is computed from the *resolved* config — either the workload's
+    ``config_class`` instantiated with ``config_kwargs`` (so passing
+    default values explicitly yields the same key as omitting them), or a
+    ready-made ``config`` object (the spelling used when the caller holds
+    a workload instance rather than a name + kwargs).
     """
     from ..workloads.registry import canonical_name, get_workload_class
 
     canonical = canonical_name(workload)
-    cls = get_workload_class(canonical)
-    config_class = getattr(cls, "config_class", None)
-    if config_class is not None:
-        config = config_class(**dict(config_kwargs or {}))
-    else:
-        config = dict(config_kwargs or {})
+    if config is None:
+        cls = get_workload_class(canonical)
+        config_class = getattr(cls, "config_class", None)
+        if config_class is not None:
+            config = config_class(**dict(config_kwargs or {}))
+        else:
+            config = dict(config_kwargs or {})
+    elif config_kwargs:
+        raise ValueError("pass either config_kwargs or a config object, not both")
 
     shape = getattr(config, "finest_cells", ())
     grid_shape = tuple(int(n) for n in shape) if shape else ()
 
-    fixed_dt = getattr(config, "fixed_dt", None)
-    t_end = getattr(config, "t_end", None)
-    n_steps = 0
-    if fixed_dt and t_end:
-        n_steps = int(round(float(t_end) / float(fixed_dt)))
+    # explicit step counts (cellular) win; otherwise a pinned dt against a
+    # time horizon (t_end for compressible, truncation_time for bubble)
+    n_steps = int(getattr(config, "n_steps", 0) or 0)
+    if not n_steps:
+        fixed_dt = getattr(config, "fixed_dt", None)
+        horizon = getattr(config, "t_end", None) or getattr(config, "truncation_time", None)
+        if fixed_dt and horizon:
+            n_steps = int(round(float(horizon) / float(fixed_dt)))
 
     return ReferenceKey(
         workload=canonical,
@@ -292,8 +310,11 @@ class NpzReferenceStore:
                 "key": key.to_dict(),
                 "fingerprint": fingerprint,
                 "workload": reference.workload,
+                "kind": getattr(reference, "kind", "compressible"),
                 "info": reference.info,
-                "runtime_snapshot": reference.runtime_snapshot,
+                # snapshot() freezes live counters; detached outcomes hand
+                # back their stored runtime_snapshot unchanged
+                "runtime_snapshot": reference.snapshot(),
             },
         )
         # write-then-rename with a per-writer tmp name, so a crashed writer
@@ -321,7 +342,7 @@ class NpzReferenceStore:
         can be counted separately.
         """
         from ..io.checkpoint import Checkpoint
-        from .engine import ReferenceResult
+        from ..workloads.scenario import Outcome
 
         path = self.path_for(key)
         if not path.is_file():
@@ -331,12 +352,13 @@ class NpzReferenceStore:
         except self._read_errors():
             return None
         meta = checkpoint.metadata
-        reference = ReferenceResult(
+        reference = Outcome(
             workload=meta.get("workload", key.workload),
             info=meta.get("info", {}),
             runtime_snapshot=meta.get("runtime_snapshot", {}),
             state=checkpoint.data,
             time=checkpoint.time,
+            kind=meta.get("kind", "compressible"),
         )
         return reference, meta.get("fingerprint", "")
 

@@ -31,14 +31,19 @@ import numpy as np
 from ..core.fpformat import FPFormat
 from ..core.report import format_table
 from ..core.runtime import RaptorRuntime
-from ..io.checkpoint import Checkpoint
 from ..io.sfocu import compare
 from ..parallel.executor import run_tasks
+from ..workloads.base import CompressibleWorkload
 from ..workloads.registry import create_workload
+from ..workloads.scenario import Outcome
 from .cache import ReferenceCache, reference_key
 from .spec import PolicySpec, SweepPoint, SweepSpec, format_label
 
-__all__ = ["PointResult", "ReferenceResult", "SweepResult", "run_sweep"]
+__all__ = ["PointResult", "ReferenceResult", "SweepResult", "run_sweep", "gather_references"]
+
+#: every scenario returns the unified :class:`~repro.workloads.scenario.Outcome`;
+#: a detached outcome *is* the reference record the cache and the result carry
+ReferenceResult = Outcome
 
 
 # ---------------------------------------------------------------------------
@@ -65,20 +70,6 @@ class _PointTask:
 # results
 # ---------------------------------------------------------------------------
 @dataclass
-class ReferenceResult:
-    """Full-precision reference run of one workload."""
-
-    workload: str
-    info: Dict[str, float]
-    runtime_snapshot: dict
-    state: Dict[str, np.ndarray]
-    time: float
-
-    def checkpoint(self) -> Checkpoint:
-        return Checkpoint.from_arrays(self.state, time=self.time)
-
-
-@dataclass
 class PointResult:
     """Error metrics and counter roll-up of one sweep point."""
 
@@ -88,6 +79,10 @@ class PointResult:
     fmt: FPFormat
     policy: str
     errors: Dict[str, Dict[str, float]]
+    #: the workload's own scalar error metric (sfocu L1 for compressible,
+    #: detonation-front deviation for cellular, interface deviation for
+    #: bubble) — comparable within a workload, not across kinds
+    scalar_error: float
     truncated_fraction: float
     ops: Dict[str, int]
     mem: Dict[str, int]
@@ -115,6 +110,7 @@ class PointResult:
             self.format_name,
             self.policy,
             tuple(sorted((v, tuple(sorted(norms.items()))) for v, norms in self.errors.items())),
+            self.scalar_error,
             self.truncated_fraction,
             tuple(sorted(self.ops.items())),
             tuple(sorted(self.mem.items())),
@@ -186,13 +182,23 @@ class SweepResult:
                     p.policy,
                     p.format_name,
                     f"{p.l1(variable):.3e}" if variable in p.errors else "n/a",
+                    f"{p.scalar_error:.3e}",
                     f"{p.truncated_fraction:.1%}",
                     f"{p.giga_ops[0]:.4f}",
                     f"{p.giga_ops[1]:.4f}",
                 ]
             )
         return format_table(
-            ["workload", "policy", "format", f"L1({variable})", "trunc ops", "Gops trunc", "Gops full"],
+            [
+                "workload",
+                "policy",
+                "format",
+                f"L1({variable})",
+                "scalar err",
+                "trunc ops",
+                "Gops trunc",
+                "Gops full",
+            ],
             rows,
         )
 
@@ -212,6 +218,7 @@ class SweepResult:
                     "format": p.format_name,
                     "policy": p.policy,
                     "errors": p.errors,
+                    "scalar_error": p.scalar_error,
                     "truncated_fraction": p.truncated_fraction,
                     "ops": p.ops,
                     "mem": p.mem,
@@ -327,15 +334,11 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 def _execute_reference(task: _ReferenceTask) -> ReferenceResult:
     workload = create_workload(task.workload, **task.config_kwargs)
-    run = workload.reference()
-    state = {name: np.asarray(run.checkpoint[name]) for name in run.checkpoint.variables()}
-    return ReferenceResult(
-        workload=task.workload,
-        info=dict(run.info),
-        runtime_snapshot=run.runtime.snapshot(),
-        state=state,
-        time=run.checkpoint.time,
-    )
+    outcome = workload.reference().detach()
+    # key the result by the name the spec used (possibly an alias), so the
+    # engine's reference lookup matches its points
+    outcome.workload = task.workload
+    return outcome
 
 
 def _execute_point(task: _PointTask) -> PointResult:
@@ -345,8 +348,13 @@ def _execute_point(task: _PointTask) -> PointResult:
     policy = point.policy.build(point.fmt, runtime, rounding=task.rounding)
     run = workload.run(policy=policy, runtime=runtime)
 
-    reference = Checkpoint.from_arrays(task.reference_state, time=task.reference_time)
-    report = compare(run.checkpoint, reference, list(task.variables))
+    reference = Outcome(
+        workload=point.workload,
+        state=task.reference_state,
+        time=task.reference_time,
+        kind=getattr(workload, "kind", "compressible"),
+    )
+    report = compare(run.checkpoint, reference.checkpoint, list(task.variables))
     errors = {
         name: {
             "l1": report[name].l1,
@@ -355,6 +363,17 @@ def _execute_point(task: _PointTask) -> PointResult:
         }
         for name in task.variables
     }
+    # the compressible scalar error is the L1 of error_variable — already in
+    # the report when that variable was requested, so skip the second
+    # covering-grid comparison (only when error() is not overridden)
+    error_variable = getattr(workload, "error_variable", None)
+    if (
+        error_variable in errors
+        and type(workload).error is CompressibleWorkload.error
+    ):
+        scalar_error = errors[error_variable]["l1"]
+    else:
+        scalar_error = float(workload.error(run, reference))
 
     # the snapshot is the single source of the counters; PointResult's
     # ops/mem/module_ops fields alias into it so they cannot desynchronize
@@ -366,6 +385,7 @@ def _execute_point(task: _PointTask) -> PointResult:
         fmt=point.fmt,
         policy=point.policy.describe(),
         errors=errors,
+        scalar_error=scalar_error,
         truncated_fraction=runtime.ops.truncated_fraction,
         ops=snapshot["ops"],
         mem=snapshot["mem"],
@@ -384,7 +404,7 @@ def _execute_point(task: _PointTask) -> PointResult:
 # the engine
 # ---------------------------------------------------------------------------
 def _resolve_cache(
-    spec: SweepSpec, cache: Union[ReferenceCache, str, None]
+    spec, cache: Union[ReferenceCache, str, None]
 ) -> Optional[ReferenceCache]:
     """The cache to use for a sweep: an explicit object, a directory given
     by path (argument or ``spec.cache_dir``), or none."""
@@ -394,6 +414,44 @@ def _resolve_cache(
     if directory is None:
         return None
     return ReferenceCache(directory)
+
+
+def gather_references(
+    names: Sequence[str],
+    config_kwargs_fn,
+    cache: Optional[ReferenceCache] = None,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+) -> Dict[str, ReferenceResult]:
+    """Phase 1 of every experiment: one full-precision reference per
+    workload, served from ``cache`` when possible and computed on the
+    execution backend otherwise.  Shared by :func:`run_sweep` and the
+    adaptive cliff search (:mod:`repro.experiments.adaptive`)."""
+    references: Dict[str, ReferenceResult] = {}
+    if cache is not None:
+        keys = {name: reference_key(name, config_kwargs_fn(name)) for name in names}
+        missing = []
+        for name in names:
+            cached = cache.get(keys[name])
+            if cached is not None:
+                references[name] = cached
+            else:
+                missing.append(name)
+    else:
+        keys = {}
+        missing = list(names)
+
+    reference_tasks = [
+        _ReferenceTask(workload=name, config_kwargs=config_kwargs_fn(name))
+        for name in missing
+    ]
+    for ref in run_tasks(
+        _execute_reference, reference_tasks, backend=backend, max_workers=max_workers
+    ):
+        references[ref.workload] = ref
+        if cache is not None:
+            cache.put(keys[ref.workload], ref)
+    return references
 
 
 def run_sweep(
@@ -420,31 +478,13 @@ def run_sweep(
     # a sharded spec may not touch every workload of the base spec; only
     # the workloads actually present in this slice need references
     needed = list(dict.fromkeys(point.workload for point in points))
-
-    references: Dict[str, ReferenceResult] = {}
-    if ref_cache is not None:
-        keys = {name: reference_key(name, spec.config_kwargs(name)) for name in needed}
-        missing = []
-        for name in needed:
-            cached = ref_cache.get(keys[name])
-            if cached is not None:
-                references[name] = cached
-            else:
-                missing.append(name)
-    else:
-        keys = {}
-        missing = list(needed)
-
-    reference_tasks = [
-        _ReferenceTask(workload=name, config_kwargs=spec.config_kwargs(name))
-        for name in missing
-    ]
-    for ref in run_tasks(
-        _execute_reference, reference_tasks, backend=spec.backend, max_workers=spec.max_workers
-    ):
-        references[ref.workload] = ref
-        if ref_cache is not None:
-            ref_cache.put(keys[ref.workload], ref)
+    references = gather_references(
+        needed,
+        spec.config_kwargs,
+        cache=ref_cache,
+        backend=spec.backend,
+        max_workers=spec.max_workers,
+    )
 
     # every task carries its workload's reference arrays; at the checkpoint
     # sizes these experiments use (tens to hundreds of KB) re-pickling the
@@ -454,7 +494,7 @@ def run_sweep(
         _PointTask(
             point=point,
             config_kwargs=spec.config_kwargs(point.workload),
-            variables=spec.variables,
+            variables=spec.variables_for(point.workload),
             rounding=spec.rounding,
             reference_state=references[point.workload].state,
             reference_time=references[point.workload].time,

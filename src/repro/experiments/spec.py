@@ -26,7 +26,17 @@ from ..core.selective import (
     TruncationPolicy,
 )
 
-__all__ = ["PolicySpec", "SweepPoint", "SweepSpec", "resolve_format", "format_label"]
+__all__ = [
+    "PolicySpec",
+    "SweepPoint",
+    "SweepSpec",
+    "resolve_format",
+    "format_label",
+    "config_kwargs_for",
+    "validate_workload_list",
+    "validate_alias_keyed_mapping",
+    "validate_config_overrides",
+]
 
 _POLICY_KINDS = ("none", "global", "amr-cutoff", "module")
 
@@ -56,6 +66,92 @@ def resolve_format(fmt: Union[str, FPFormat]) -> FPFormat:
 def format_label(fmt: FPFormat) -> str:
     """Short display name of a format."""
     return fmt.name or f"e{fmt.exp_bits}m{fmt.man_bits}"
+
+
+def config_kwargs_for(
+    workload_configs: Mapping[str, Mapping[str, object]], workload: str
+) -> Dict[str, object]:
+    """Config overrides for a workload, matching names alias-aware.
+
+    Shared by :class:`SweepSpec` and the adaptive-search spec so both
+    resolve ``{"kh": ...}`` and ``{"kelvin-helmholtz": ...}`` to the same
+    overrides.
+    """
+    direct = workload_configs.get(workload)
+    if direct is not None:
+        return dict(direct)
+    from ..workloads.registry import canonical_name
+
+    target = canonical_name(workload)
+    for name, kwargs in workload_configs.items():
+        if canonical_name(name) == target:
+            return dict(kwargs)
+    return {}
+
+
+def validate_workload_list(workloads: Sequence[str], what: str) -> set:
+    """Canonicalise and protocol-check a workload list; returns the set of
+    canonical names.  Shared by :meth:`SweepSpec.validate` and
+    :meth:`~repro.experiments.adaptive.AdaptiveSpec.validate` so the rules
+    cannot drift: aliases deduplicate, unknown names raise with the
+    registry listing, and registered-but-not-sweepable classes are
+    rejected with the missing protocol surface spelled out."""
+    from ..workloads.registry import canonical_name, get_workload_class
+    from ..workloads.scenario import scenario_protocol_errors
+
+    if not workloads:
+        raise ValueError(f"{what} needs at least one workload")
+    seen = set()
+    for name in workloads:
+        canonical = canonical_name(name)
+        if canonical in seen:
+            raise ValueError(
+                f"duplicate workload {name!r} (canonical name {canonical!r}) in {what}"
+            )
+        seen.add(canonical)
+        cls = get_workload_class(name)
+        problems = scenario_protocol_errors(cls)
+        if problems:
+            raise ValueError(
+                f"workload {name!r} ({cls.__qualname__}) does not implement the "
+                f"scenario (sweep) protocol: {'; '.join(problems)}; it is "
+                "registered for name-based lookup but cannot be swept yet"
+            )
+    return seen
+
+
+def validate_alias_keyed_mapping(
+    mapping: Mapping[str, object], canonical_workloads: set, what: str
+) -> None:
+    """Check a per-workload mapping (configs, thresholds): every key must
+    resolve to a swept workload, and no two keys may denote the same one."""
+    from ..workloads.registry import canonical_name
+
+    resolved: Dict[str, str] = {}
+    for name in mapping:
+        canonical = canonical_name(name)
+        if canonical not in canonical_workloads:
+            raise ValueError(f"{what} mentions {name!r}, which is not in workloads")
+        if canonical in resolved:
+            raise ValueError(
+                f"{what} keys {resolved[canonical]!r} and {name!r} both refer "
+                f"to workload {canonical!r}"
+            )
+        resolved[canonical] = name
+
+
+def validate_config_overrides(workload_configs: Mapping[str, Mapping[str, object]]) -> None:
+    """Probe each override against its workload's ``config_class`` so
+    typo'd field names fail at validation time, not inside a worker."""
+    from ..workloads.registry import get_workload_class
+
+    for name, kwargs in workload_configs.items():
+        config_class = getattr(get_workload_class(name), "config_class", None)
+        if config_class is not None:
+            try:
+                config_class(**kwargs)
+            except TypeError as exc:
+                raise ValueError(f"invalid workload_configs for {name!r}: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -174,8 +270,12 @@ class SweepSpec:
         Per-workload overrides, keyed by the name used in ``workloads``;
         values are keyword arguments for the workload's ``config_class``.
     variables:
-        Checkpoint variables whose error norms (vs. the full-precision
-        reference) each point reports.
+        State variables whose error norms (vs. the full-precision
+        reference) each point reports.  ``None`` (the default) reports
+        each workload's own ``default_error_variables``, which is the only
+        spelling that works for sweeps mixing scenario kinds (e.g.
+        compressible + bubble); an explicit tuple must be available on
+        every swept workload.
     rounding:
         Rounding mode of the truncated operations.
     backend / max_workers:
@@ -196,7 +296,7 @@ class SweepSpec:
     formats: Sequence[Union[str, FPFormat]] = ("fp64", "fp32", "bf16", "fp16")
     policies: Sequence[PolicySpec] = (PolicySpec(kind="global", modules=("hydro",)),)
     workload_configs: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
-    variables: Tuple[str, ...] = ("dens",)
+    variables: Optional[Tuple[str, ...]] = None
     rounding: str = RoundingMode.NEAREST_EVEN
     backend: str = "serial"
     max_workers: Optional[int] = None
@@ -211,10 +311,8 @@ class SweepSpec:
 
     def validate(self) -> None:
         """Check the spec before execution (fail fast, not in a worker)."""
-        from ..workloads.registry import canonical_name, get_workload_class
+        from ..workloads.registry import get_workload_class
 
-        if not self.workloads:
-            raise ValueError("SweepSpec needs at least one workload")
         if not self.formats:
             raise ValueError("SweepSpec needs at least one format")
         if not self.policies:
@@ -227,60 +325,25 @@ class SweepSpec:
             raise ValueError(
                 f"shard_index must be in [0, {self.shard_count}), got {self.shard_index}"
             )
-        if not self.variables:
-            raise ValueError("SweepSpec needs at least one error variable")
-        from ..workloads.base import PRIMITIVE_VARS
-
-        unknown = [v for v in self.variables if v not in PRIMITIVE_VARS]
-        if unknown:
+        if self.variables is not None and not self.variables:
             raise ValueError(
-                f"unknown error variable(s) {unknown}; compressible checkpoints "
-                f"carry {list(PRIMITIVE_VARS)}"
+                "SweepSpec needs at least one error variable "
+                "(or variables=None for per-workload defaults)"
             )
-        seen = set()
-        for name in self.workloads:
-            # resolve aliases so "kh" and "kelvin-helmholtz" count as the
-            # same workload; raises UnknownWorkloadError with the registry
-            # listing for unknown names
-            canonical = canonical_name(name)
-            if canonical in seen:
-                raise ValueError(
-                    f"duplicate workload {name!r} (canonical name {canonical!r}) in sweep"
-                )
-            seen.add(canonical)
-            cls = get_workload_class(name)
-            if not (hasattr(cls, "reference") and hasattr(cls, "run")):
-                raise ValueError(
-                    f"workload {name!r} ({cls.__qualname__}) does not implement the "
-                    "sweep protocol (reference() / run(policy=..., runtime=...)); "
-                    "it is registered for name-based lookup but cannot be swept yet"
-                )
-        self.resolved_formats()
-        seen_configs: Dict[str, str] = {}
-        for name, kwargs in self.workload_configs.items():
-            # alias-aware, like the workloads list itself: a config keyed
-            # 'kelvin-helmholtz' applies to a sweep of 'kh' and vice versa
-            canonical = canonical_name(name)
-            if canonical not in seen:
-                raise ValueError(
-                    f"workload_configs mentions {name!r}, which is not in workloads"
-                )
-            if canonical in seen_configs:
-                raise ValueError(
-                    f"workload_configs keys {seen_configs[canonical]!r} and {name!r} "
-                    f"both refer to workload {canonical!r}"
-                )
-            seen_configs[canonical] = name
-            # probe the config constructor so typo'd field names fail here
-            # rather than deep inside a worker process
-            config_class = getattr(get_workload_class(name), "config_class", None)
-            if config_class is not None:
-                try:
-                    config_class(**kwargs)
-                except TypeError as exc:
+        seen = validate_workload_list(self.workloads, "SweepSpec")
+        if self.variables is not None:
+            for name in self.workloads:
+                known = tuple(getattr(get_workload_class(name), "error_variables", ()))
+                unknown = [v for v in self.variables if v not in known]
+                if unknown:
                     raise ValueError(
-                        f"invalid workload_configs for {name!r}: {exc}"
-                    ) from None
+                        f"unknown error variable(s) {unknown} for workload {name!r}; "
+                        f"its outcomes carry {list(known)} — pass variables=None to "
+                        "use each workload's own defaults"
+                    )
+        self.resolved_formats()
+        validate_alias_keyed_mapping(self.workload_configs, seen, "workload_configs")
+        validate_config_overrides(self.workload_configs)
 
     def full_grid(self) -> Tuple[SweepPoint, ...]:
         """The *complete* sweep grid (ignoring sharding), in deterministic
@@ -335,16 +398,17 @@ class SweepSpec:
 
     def config_kwargs(self, workload: str) -> Dict[str, object]:
         """Config overrides for a workload, matching names alias-aware."""
-        direct = self.workload_configs.get(workload)
-        if direct is not None:
-            return dict(direct)
-        from ..workloads.registry import canonical_name
+        return config_kwargs_for(self.workload_configs, workload)
 
-        target = canonical_name(workload)
-        for name, kwargs in self.workload_configs.items():
-            if canonical_name(name) == target:
-                return dict(kwargs)
-        return {}
+    def variables_for(self, workload: str) -> Tuple[str, ...]:
+        """The error variables reported for one workload's points: the
+        spec's explicit tuple, or the workload's own defaults when the
+        spec leaves ``variables=None``."""
+        if self.variables is not None:
+            return tuple(self.variables)
+        from ..workloads.registry import get_workload_class
+
+        return tuple(get_workload_class(workload).default_error_variables)
 
     def with_backend(self, backend: str, max_workers: Optional[int] = None) -> "SweepSpec":
         """A copy of the spec running on a different backend."""

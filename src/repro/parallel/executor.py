@@ -26,6 +26,10 @@ Entry points
 * :func:`get_backend` — resolve a backend name to an instance.
 * ``RAPTOR_FORCE_SERIAL=1`` — environment switch forcing the serial path
   (CI runners without usable process pools).
+* ``RAPTOR_MAX_WORKERS=n`` — environment cap on process-pool workers when
+  the caller does not pass ``max_workers`` explicitly (lets CI and shared
+  hosts bound the fan-out of sweeps and adaptive cliff searches without
+  touching every call site).
 """
 from __future__ import annotations
 
@@ -52,12 +56,31 @@ R = TypeVar("R")
 #: process pools are unavailable or undesirable)
 _FORCE_SERIAL_ENV = "RAPTOR_FORCE_SERIAL"
 
+#: environment cap on process-pool workers (applies only when the caller
+#: does not pass ``max_workers`` explicitly)
+_MAX_WORKERS_ENV = "RAPTOR_MAX_WORKERS"
+
 
 def _env_truthy(value: Optional[str]) -> bool:
     """Interpret an environment-variable value as a boolean switch."""
     if value is None:
         return False
     return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def _env_worker_cap() -> Optional[int]:
+    """The RAPTOR_MAX_WORKERS cap, or ``None`` when unset or unusable."""
+    raw = os.environ.get(_MAX_WORKERS_ENV)
+    if raw is None:
+        return None
+    try:
+        cap = int(raw.strip())
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {_MAX_WORKERS_ENV}={raw!r}", RuntimeWarning, stacklevel=3
+        )
+        return None
+    return cap if cap >= 1 else None
 
 
 class ExecutionBackend:
@@ -96,7 +119,9 @@ class ProcessPoolBackend(ExecutionBackend):
         self.max_workers = max_workers
 
     def _effective_workers(self, n_tasks: int) -> int:
-        limit = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        limit = self.max_workers
+        if limit is None:
+            limit = _env_worker_cap() or (os.cpu_count() or 1)
         return max(1, min(limit, n_tasks))
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:

@@ -3,10 +3,16 @@
 Importing this package populates :mod:`repro.workloads.registry`; resolve
 workloads by name via :func:`get_workload_class` / :func:`create_workload`
 instead of importing the classes directly.
+
+Every workload implements the scenario protocol of
+:mod:`repro.workloads.scenario` — ``run`` / ``reference`` return a common
+:class:`Outcome` and ``error`` computes a workload-specific scalar metric —
+which is what makes all of them sweepable, cacheable, shardable and
+cliff-searchable through :mod:`repro.experiments`.
 """
-from .base import CompressibleConfig, CompressibleWorkload, WorkloadRun
-from .bubble import STRATEGIES, BubbleExperimentConfig, BubbleRunResult, BubbleWorkload
-from .cellular import CellularConfig, CellularResult, CellularWorkload
+from .base import PRIMITIVE_VARS, CompressibleConfig, CompressibleWorkload
+from .bubble import STRATEGIES, BubbleExperimentConfig, BubbleWorkload
+from .cellular import CellularConfig, CellularWorkload
 from .double_blast import DoubleBlastConfig, DoubleBlastWorkload
 from .kelvin_helmholtz import KelvinHelmholtzConfig, KelvinHelmholtzWorkload
 from .rayleigh_taylor import RayleighTaylorConfig, RayleighTaylorWorkload
@@ -14,19 +20,28 @@ from .registry import (
     DuplicateWorkloadError,
     UnknownWorkloadError,
     available_workloads,
+    canonical_name,
     create_workload,
+    describe_workloads,
     get_workload_class,
     register_workload,
     unregister_workload,
     workload_aliases,
 )
+from .scenario import Outcome, Scenario, is_scenario, scenario_protocol_errors
 from .sedov import SedovConfig, SedovWorkload
 from .sod import SodConfig, SodWorkload
 
 __all__ = [
+    # the scenario protocol
+    "Outcome",
+    "Scenario",
+    "is_scenario",
+    "scenario_protocol_errors",
+    "PRIMITIVE_VARS",
+    # workloads
     "CompressibleConfig",
     "CompressibleWorkload",
-    "WorkloadRun",
     "SedovConfig",
     "SedovWorkload",
     "SodConfig",
@@ -38,19 +53,19 @@ __all__ = [
     "DoubleBlastConfig",
     "DoubleBlastWorkload",
     "CellularConfig",
-    "CellularResult",
     "CellularWorkload",
     "BubbleExperimentConfig",
-    "BubbleRunResult",
     "BubbleWorkload",
     "STRATEGIES",
     # registry
     "register_workload",
     "unregister_workload",
+    "canonical_name",
     "get_workload_class",
     "create_workload",
     "available_workloads",
     "workload_aliases",
+    "describe_workloads",
     "DuplicateWorkloadError",
     "UnknownWorkloadError",
 ]

@@ -5,11 +5,16 @@ conditions: a block-AMR grid refined by the Löhner estimator, the Spark-like
 hydro solver, a truncation policy plugged in as the solver's context
 provider, and an sfocu comparison of the final state against the
 full-precision reference — exactly the experimental loop of Section 5.
+
+Every compressible workload implements the scenario protocol of
+:mod:`repro.workloads.scenario`: ``run`` returns an :class:`Outcome` whose
+state is the finest-level covering-grid checkpoint, and ``error`` is the
+sfocu L1 norm of the density field.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -18,10 +23,10 @@ from ..core.runtime import RaptorRuntime
 from ..core.selective import NoTruncationPolicy, TruncationPolicy
 from ..hydro.solver import HydroSolver
 from ..io.checkpoint import Checkpoint
-from ..io.sfocu import compare
 from .registry import register_workload
+from .scenario import Outcome, Scenario
 
-__all__ = ["CompressibleConfig", "WorkloadRun", "CompressibleWorkload"]
+__all__ = ["CompressibleConfig", "CompressibleWorkload", "PRIMITIVE_VARS"]
 
 PRIMITIVE_VARS = ("dens", "velx", "vely", "pres")
 
@@ -58,34 +63,7 @@ class CompressibleConfig:
         return (self.n_root_x * self.nxb * factor, self.n_root_y * self.nyb * factor)
 
 
-@dataclass
-class WorkloadRun:
-    """Everything one workload execution produces."""
-
-    name: str
-    checkpoint: Checkpoint
-    runtime: RaptorRuntime
-    grid: AMRGrid
-    info: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def truncated_fraction(self) -> float:
-        return self.runtime.ops.truncated_fraction
-
-    def giga_flops(self) -> Tuple[float, float]:
-        return self.runtime.giga_flops()
-
-    def l1_error(self, reference: "WorkloadRun", variable: str = "dens") -> float:
-        """sfocu L1 error of ``variable`` against a reference run."""
-        report = compare(self.checkpoint, reference.checkpoint, [variable])
-        return report.l1(variable)
-
-    def errors(self, reference: "WorkloadRun", variables: Sequence[str] = ("dens", "velx")) -> Dict[str, float]:
-        report = compare(self.checkpoint, reference.checkpoint, list(variables))
-        return {name: report.l1(name) for name in variables}
-
-
-class CompressibleWorkload:
+class CompressibleWorkload(Scenario):
     """Base class for the compressible (AMR + hydro) workloads.
 
     Concrete subclasses that define their own ``name`` are automatically
@@ -98,6 +76,13 @@ class CompressibleWorkload:
     config_class = CompressibleConfig
     register = True
     aliases: Tuple[str, ...] = ()
+    kind = "compressible"
+    error_variables = PRIMITIVE_VARS
+    default_error_variables = ("dens",)
+    default_modules = ("hydro",)
+    #: the variable whose sfocu L1 norm is the scalar error metric
+    error_variable = "dens"
+    cliff_threshold = 1e-3
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -162,7 +147,7 @@ class CompressibleWorkload:
         t_end: Optional[float] = None,
         fixed_dt: Optional[float] = None,
         regrid: Optional[bool] = None,
-    ) -> WorkloadRun:
+    ) -> Outcome:
         """Execute the workload under a truncation policy.
 
         ``policy=None`` runs the full-precision reference (with operation
@@ -200,8 +185,17 @@ class CompressibleWorkload:
         info = dict(summary)
         info["n_leaves"] = float(grid.n_leaves)
         info["finest_level"] = float(grid.finest_level)
-        return WorkloadRun(self.name, checkpoint, rt, grid, info)
+        return Outcome(
+            workload=self.name,
+            state=checkpoint.data,
+            time=checkpoint.time,
+            info=info,
+            kind=self.kind,
+            metadata=checkpoint.metadata,
+            runtime=rt,
+            grid=grid,
+        )
 
-    def reference(self, **kwargs) -> WorkloadRun:
-        """Full-precision reference run (op counting enabled)."""
-        return self.run(policy=None, **kwargs)
+    def error(self, outcome: Outcome, reference: Outcome) -> float:
+        """sfocu L1 error of the density field (the paper's headline norm)."""
+        return outcome.l1_error(reference, self.error_variable)

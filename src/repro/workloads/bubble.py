@@ -10,23 +10,35 @@ of the interface (deformation, splitting, satellite bubbles).
 This workload reproduces that protocol on the uniform-grid solver of
 :mod:`repro.incomp`: a short spin-up takes the place of the archived t = 3
 state, and the truncation phase records interface snapshots, centroid,
-gas volume and fragment count for each strategy/mantissa combination.
+gas volume and fragment count.
+
+Two entry points drive the same machinery:
+
+* :meth:`BubbleWorkload.run` — the scenario protocol.  A
+  :class:`~repro.core.selective.TruncationPolicy` is mapped onto the
+  Figure 1 strategies: ``None`` / no-truncation → the reference,
+  :class:`~repro.core.selective.AMRCutoffPolicy` → the M−l
+  interface-distance cutoffs, any other truncating policy → everywhere.
+* :meth:`BubbleWorkload.run_strategy` — the paper's native
+  (strategy, mantissa) parameterisation, used by the Figure 1 benchmark.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..core.config import TruncationConfig
 from ..core.fpformat import FPFormat
-from ..core.opmode import TruncatedContext
+from ..core.opmode import FullPrecisionContext, TruncatedContext
 from ..core.runtime import RaptorRuntime
+from ..core.selective import AMRCutoffPolicy, NoTruncationPolicy, TruncationPolicy
 from ..incomp.solver import BubbleConfig, BubbleSolver
 from .registry import register_workload
+from .scenario import Outcome, Scenario
 
-__all__ = ["BubbleExperimentConfig", "BubbleRunResult", "BubbleWorkload", "STRATEGIES"]
+__all__ = ["BubbleExperimentConfig", "BubbleWorkload", "STRATEGIES"]
 
 #: truncation strategies of Figure 1
 STRATEGIES = ("none", "everywhere", "cutoff-1", "cutoff-2")
@@ -51,31 +63,24 @@ class BubbleExperimentConfig:
     fixed_dt: float = 0.004
     exp_bits: int = 8
 
-
-@dataclass
-class BubbleRunResult:
-    """Diagnostics of one strategy/mantissa combination."""
-
-    strategy: str
-    man_bits: int
-    snapshots: Dict[float, np.ndarray]
-    centroid_history: List[float]
-    gas_volume: float
-    fragments: int
-    runtime: RaptorRuntime
-
-    def interface_deviation(self, reference: "BubbleRunResult") -> float:
-        """Mean |phi - phi_ref| over the final snapshot (interface-shape metric)."""
-        t = max(self.snapshots)
-        return float(np.mean(np.abs(self.snapshots[t] - reference.snapshots[t])))
+    @property
+    def finest_cells(self):
+        """Covering-grid shape, for the reference cache's content address."""
+        return (self.solver.nx, self.solver.ny)
 
 
 @register_workload
-class BubbleWorkload:
+class BubbleWorkload(Scenario):
     """Driver for the Figure 1 truncation-strategy comparison."""
 
     name = "bubble"
     config_class = BubbleExperimentConfig
+    kind = "bubble"
+    error_variables = ("phi", "centroid")
+    default_error_variables = ("phi",)
+    default_modules = ("advection", "diffusion")
+    #: default cliff threshold on the mean interface deviation |phi - phi_ref|
+    cliff_threshold = 0.02
 
     def __init__(self, config: Optional[BubbleExperimentConfig] = None) -> None:
         self.config = config or BubbleExperimentConfig()
@@ -93,6 +98,10 @@ class BubbleWorkload:
                 "pres": solver.pres.copy(),
                 "phi": solver.levelset.phi.copy(),
                 "time": solver.time,
+                # step_count phases the periodic level-set reinitialisation;
+                # restoring it keeps restored runs bit-identical to the run
+                # that continued straight out of the spin-up
+                "step_count": solver.step_count,
             }
         else:
             solver.velx = self._spun_up_state["velx"].copy()
@@ -100,13 +109,11 @@ class BubbleWorkload:
             solver.pres = self._spun_up_state["pres"].copy()
             solver.levelset.phi = self._spun_up_state["phi"].copy()
             solver.time = self._spun_up_state["time"]
+            solver.step_count = self._spun_up_state["step_count"]
         return solver
 
-    def _mask_fn(self, strategy: str):
+    def _cutoff_mask_fn(self, cutoff: int) -> Callable[[BubbleSolver], np.ndarray]:
         cfg = self.config
-        if strategy == "everywhere":
-            return None  # truncate every cell
-        cutoff = int(strategy.split("-")[1])
 
         def mask(solver: BubbleSolver) -> np.ndarray:
             levels = solver.levelset.level_map(cfg.max_level)
@@ -114,9 +121,52 @@ class BubbleWorkload:
 
         return mask
 
+    def _mask_fn(self, strategy: str):
+        if strategy == "everywhere":
+            return None  # truncate every cell
+        return self._cutoff_mask_fn(int(strategy.split("-")[1]))
+
     # ------------------------------------------------------------------
-    def run(self, strategy: str, man_bits: int, runtime: Optional[RaptorRuntime] = None) -> BubbleRunResult:
-        """Run the truncation phase with one strategy/mantissa combination.
+    def run(
+        self,
+        policy: Optional[TruncationPolicy] = None,
+        runtime: Optional[RaptorRuntime] = None,
+    ) -> Outcome:
+        """Run the truncation phase under a truncation policy.
+
+        ``policy=None`` (or a no-op policy) is the full-precision
+        reference.  An :class:`AMRCutoffPolicy` maps to the paper's
+        interface-distance cutoff strategy (the level-set band standing in
+        for the AMR hierarchy); every other truncating policy truncates
+        the advection and diffusion operators everywhere.
+        """
+        rt = runtime if runtime is not None else RaptorRuntime(self.name)
+        pol = policy if policy is not None else NoTruncationPolicy(runtime=rt)
+        adv = pol.context_for(module="advection")
+        diff = pol.context_for(module="diffusion")
+        # the solver's fast path is "no context"; full-precision contexts
+        # would change nothing numerically, so map them back to None
+        adv_ctx = None if isinstance(adv, FullPrecisionContext) else adv
+        diff_ctx = None if isinstance(diff, FullPrecisionContext) else diff
+        mask_fn = None
+        strategy = "none"
+        if adv_ctx is not None or diff_ctx is not None:
+            strategy = "everywhere"
+            if isinstance(pol, AMRCutoffPolicy) and pol.cutoff > 0:
+                strategy = f"cutoff-{pol.cutoff}"
+                mask_fn = self._cutoff_mask_fn(pol.cutoff)
+            covered = [m for m, c in (("advection", adv_ctx), ("diffusion", diff_ctx)) if c is not None]
+            if len(covered) == 1:
+                # a policy truncating only one operator family is not any
+                # Figure 1 strategy; label the actual coverage so grouped
+                # outcomes don't merge genuinely different runs
+                strategy = f"{strategy}[{covered[0]}]"
+        return self._execute(adv_ctx, diff_ctx, mask_fn, rt, strategy, pol.describe())
+
+    def run_strategy(
+        self, strategy: str, man_bits: int, runtime: Optional[RaptorRuntime] = None
+    ) -> Outcome:
+        """Run one (strategy, mantissa) combination of Figure 1.
 
         ``strategy`` is one of :data:`STRATEGIES`; ``man_bits`` is ignored
         for the "none" (reference) strategy.
@@ -125,8 +175,6 @@ class BubbleWorkload:
             raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
         cfg = self.config
         rt = runtime if runtime is not None else RaptorRuntime(f"bubble-{strategy}-{man_bits}")
-        solver = self._fresh_solver()
-
         if strategy == "none":
             adv_ctx = diff_ctx = None
             mask_fn = None
@@ -135,6 +183,20 @@ class BubbleWorkload:
             adv_ctx = TruncatedContext(fmt, runtime=rt, module="advection")
             diff_ctx = TruncatedContext(fmt, runtime=rt, module="diffusion")
             mask_fn = self._mask_fn(strategy)
+        return self._execute(adv_ctx, diff_ctx, mask_fn, rt, strategy, f"{strategy}@m{man_bits}")
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        adv_ctx,
+        diff_ctx,
+        mask_fn,
+        rt: RaptorRuntime,
+        strategy: str,
+        policy_label: str,
+    ) -> Outcome:
+        cfg = self.config
+        solver = self._fresh_solver()
 
         snapshots: Dict[float, np.ndarray] = {}
         centroids: List[float] = []
@@ -157,15 +219,33 @@ class BubbleWorkload:
         # guarantee a final snapshot even if snapshot_times exceed the run
         snapshots.setdefault(cfg.truncation_time, solver.levelset.phi.copy())
 
-        return BubbleRunResult(
-            strategy=strategy,
-            man_bits=man_bits,
-            snapshots=snapshots,
-            centroid_history=centroids,
-            gas_volume=solver.gas_volume(),
-            fragments=solver.interface_fragment_count(),
+        snap_times = sorted(snapshots)
+        state: Dict[str, np.ndarray] = {
+            "phi": snapshots[snap_times[-1]],
+            "centroid": np.asarray(centroids, dtype=np.float64),
+            "snapshot_times": np.asarray(snap_times, dtype=np.float64),
+        }
+        for i, t in enumerate(snap_times):
+            state[f"phi_snap{i}"] = snapshots[t]
+        return Outcome(
+            workload=self.name,
+            state=state,
+            time=solver.time,
+            info={
+                "gas_volume": float(solver.gas_volume()),
+                "fragments": float(solver.interface_fragment_count()),
+                "centroid_rise": float(centroids[-1] - centroids[0]) if centroids else 0.0,
+            },
+            kind=self.kind,
+            metadata={"workload": self.name, "strategy": strategy, "policy": policy_label},
             runtime=rt,
         )
+
+    # ------------------------------------------------------------------
+    def error(self, outcome: Outcome, reference: Outcome) -> float:
+        """Mean |phi - phi_ref| over the final snapshot (the interface-shape
+        metric behind Figure 1)."""
+        return float(np.mean(np.abs(outcome.state["phi"] - reference.state["phi"])))
 
     # ------------------------------------------------------------------
     def truncation_config(self, man_bits: int) -> TruncationConfig:

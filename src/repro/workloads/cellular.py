@@ -29,8 +29,9 @@ from ..core.selective import ModulePolicy, NoTruncationPolicy, TruncationPolicy
 from ..eos.newton import NewtonSolverConfig, invert_energy
 from ..eos.table import HelmholtzTable
 from .registry import register_workload
+from .scenario import Outcome, Scenario
 
-__all__ = ["CellularConfig", "CellularResult", "CellularWorkload"]
+__all__ = ["CellularConfig", "CellularWorkload"]
 
 
 @dataclass
@@ -52,30 +53,22 @@ class CellularConfig:
         default_factory=lambda: CarbonBurnNetwork(rate_prefactor=1e9, activation_t9=10.0)
     )
 
-
-@dataclass
-class CellularResult:
-    """Outcome of a Cellular run."""
-
-    front_positions: List[float]
-    times: List[float]
-    eos_converged: bool
-    failed_newton_steps: int
-    total_newton_calls: int
-    final_burned_fraction: float
-    runtime: RaptorRuntime
-
     @property
-    def detonation_propagated(self) -> bool:
-        return len(self.front_positions) >= 2 and self.front_positions[-1] > self.front_positions[0]
+    def finest_cells(self):
+        """Covering-grid shape, for the reference cache's content address."""
+        return (self.n_cells,)
 
 
 @register_workload
-class CellularWorkload:
+class CellularWorkload(Scenario):
     """1-D over-driven carbon detonation with a tabulated EOS."""
 
     name = "cellular"
     config_class = CellularConfig
+    kind = "cellular"
+    error_variables = ("dens", "velx", "eint", "temp", "fuel", "front_positions")
+    default_error_variables = ("dens", "temp")
+    default_modules = ("eos",)
 
     def __init__(self, config: Optional[CellularConfig] = None) -> None:
         self.config = config or CellularConfig()
@@ -170,7 +163,7 @@ class CellularWorkload:
         policy: Optional[TruncationPolicy] = None,
         runtime: Optional[RaptorRuntime] = None,
         n_steps: Optional[int] = None,
-    ) -> CellularResult:
+    ) -> Outcome:
         """Run the detonation under a truncation policy.
 
         The policy is consulted for the ``eos`` module only (the paper's
@@ -212,15 +205,52 @@ class CellularWorkload:
             times.append(t)
             fronts.append(self._front_position(state))
 
-        return CellularResult(
-            front_positions=fronts,
-            times=times,
-            eos_converged=(failed == 0),
-            failed_newton_steps=failed,
-            total_newton_calls=calls,
-            final_burned_fraction=float(1.0 - np.mean(state["fuel"])),
+        fronts_arr = np.asarray(fronts, dtype=np.float64)
+        propagated = len(fronts) >= 2 and fronts[-1] > fronts[0]
+        return Outcome(
+            workload=self.name,
+            state={
+                "x": state["x"],
+                "dens": state["dens"],
+                "velx": state["velx"],
+                "eint": state["eint"],
+                "temp": state["temp"],
+                "fuel": state["fuel"],
+                "front_positions": fronts_arr,
+                "times": np.asarray(times, dtype=np.float64),
+            },
+            time=t,
+            info={
+                "eos_converged": float(failed == 0),
+                "failed_newton_steps": float(failed),
+                "total_newton_calls": float(calls),
+                "final_burned_fraction": float(1.0 - np.mean(state["fuel"])),
+                "detonation_propagated": float(propagated),
+                "front_advance": float(fronts_arr[-1] - fronts_arr[0]) if len(fronts) else 0.0,
+            },
+            kind=self.kind,
+            metadata={"workload": self.name, "policy": pol.describe()},
             runtime=rt,
         )
+
+    # ------------------------------------------------------------------
+    def error(self, outcome: Outcome, reference: Outcome) -> float:
+        """Relative deviation of the final detonation-front position."""
+        front = float(outcome.state["front_positions"][-1])
+        ref_front = float(reference.state["front_positions"][-1])
+        return abs(front - ref_front) / max(abs(ref_front), 1e-30)
+
+    def acceptable(
+        self, outcome: Outcome, reference: Outcome, threshold: Optional[float] = None
+    ) -> bool:
+        """Physics invariant of the paper's Hypothesis-2 study: the EOS
+        inversion still converges and the detonation still propagates.  A
+        threshold additionally bounds the front-position deviation."""
+        if not (outcome.info.get("eos_converged") and outcome.info.get("detonation_propagated")):
+            return False
+        if threshold is not None:
+            return self.error(outcome, reference) <= threshold
+        return True
 
     def _dt_guess(self, state: Dict[str, np.ndarray], dx: float) -> float:
         pres = np.asarray(self.table.pressure(state["dens"], state["temp"]))

@@ -31,11 +31,12 @@ Public API
   :func:`create_workload` — alias-aware lookup and instantiation; unknown
   names raise :class:`UnknownWorkloadError` listing every registered
   workload.
-* :func:`available_workloads` / :func:`workload_aliases` — introspection.
+* :func:`available_workloads` / :func:`workload_aliases` /
+  :func:`describe_workloads` — introspection.
 """
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 __all__ = [
     "DuplicateWorkloadError",
@@ -47,6 +48,7 @@ __all__ = [
     "create_workload",
     "available_workloads",
     "workload_aliases",
+    "describe_workloads",
 ]
 
 
@@ -152,6 +154,39 @@ def available_workloads() -> Tuple[str, ...]:
 def workload_aliases() -> Dict[str, str]:
     """Mapping alias -> canonical name (copy)."""
     return dict(_ALIASES)
+
+
+def describe_workloads() -> List[Dict[str, object]]:
+    """One summary row per registered workload, in canonical-name order.
+
+    Each row carries the canonical name, its aliases, the config class
+    name, the scenario ``kind``, the error variables of the scenario
+    protocol, whether the class satisfies that protocol, and the first
+    line of the class docstring as a one-line description.
+    """
+    from .scenario import is_scenario
+
+    aliases_by_canonical: Dict[str, List[str]] = {}
+    for alias, target in _ALIASES.items():
+        if alias != target:
+            aliases_by_canonical.setdefault(target, []).append(alias)
+    rows: List[Dict[str, object]] = []
+    for name in available_workloads():
+        cls = _REGISTRY[name]
+        doc = (cls.__doc__ or "").strip().splitlines()
+        config_class = getattr(cls, "config_class", None)
+        rows.append(
+            {
+                "name": name,
+                "aliases": tuple(sorted(aliases_by_canonical.get(name, ()))),
+                "config_class": config_class.__name__ if config_class is not None else "-",
+                "kind": getattr(cls, "kind", "-"),
+                "error_variables": tuple(getattr(cls, "error_variables", ())),
+                "sweepable": is_scenario(cls),
+                "description": doc[0] if doc else "",
+            }
+        )
+    return rows
 
 
 def canonical_name(name: str) -> str:

@@ -1,0 +1,421 @@
+"""Tests for the adaptive precision-cliff search.
+
+The load-bearing property: on any monotone pass/fail profile, bisection
+finds exactly the cliff an exhaustive grid scan would find, in at most
+``ceil(log2(n)) + 1`` runs (hypothesis-checked on a synthetic error model,
+then pinned on the real cellular workload against a real exhaustive grid).
+"""
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RaptorRuntime
+from repro.core.selective import NoTruncationPolicy
+from repro.experiments import (
+    AdaptiveResult,
+    AdaptiveSpec,
+    PolicySpec,
+    ReferenceCache,
+    find_cliff,
+    run_adaptive_sweep,
+)
+from repro.experiments.adaptive import bisect_cliff, max_bisection_runs
+from repro.workloads import Outcome, Scenario
+
+CELLULAR_FAST = dict(n_cells=32, n_steps=8)
+
+
+# ---------------------------------------------------------------------------
+# a synthetic scenario with an exactly known cliff
+# ---------------------------------------------------------------------------
+class SyntheticCliffWorkload(Scenario):
+    """Error model ``error(m) = 2**-m``: monotone in the mantissa width, so
+    a threshold ``2**-c`` puts the cliff exactly at ``ceil(c)`` bits."""
+
+    name = "synthetic-cliff"
+    config_class = None
+    kind = "synthetic"
+    error_variables = ("value",)
+    default_error_variables = ("value",)
+    cliff_threshold = 2.0 ** -10
+
+    def __init__(self):
+        self.runs = 0
+
+    @staticmethod
+    def _man_bits(policy) -> int:
+        if policy is None or isinstance(policy, NoTruncationPolicy):
+            return 53
+        return policy.config.targets[64].man_bits
+
+    def run(self, policy=None, runtime=None) -> Outcome:
+        self.runs += 1
+        man_bits = self._man_bits(policy)
+        return Outcome(
+            workload=self.name,
+            state={"value": np.array([2.0 ** -man_bits])},
+            time=0.0,
+            info={"man_bits": float(man_bits)},
+            kind=self.kind,
+            runtime=runtime,
+        )
+
+    def error(self, outcome: Outcome, reference: Outcome) -> float:
+        return float(abs(outcome.state["value"][0] - reference.state["value"][0]))
+
+
+# ---------------------------------------------------------------------------
+# the bisection core
+# ---------------------------------------------------------------------------
+class TestBisectCliff:
+    @given(
+        min_bits=st.integers(min_value=1, max_value=30),
+        span=st.integers(min_value=0, max_value=60),
+        cliff=st.integers(min_value=-5, max_value=70),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_exhaustive_scan_on_any_monotone_profile(self, min_bits, span, cliff):
+        """Bisection == exhaustive scan for every monotone step profile,
+        within the run bound."""
+        max_bits = min_bits + span
+
+        def make_eval(counter):
+            def evaluate(bits):
+                counter.append(bits)
+                from repro.experiments.adaptive import CliffEvaluation
+
+                return CliffEvaluation(
+                    man_bits=bits, error=0.0, passed=bits >= cliff, truncated_fraction=0.0
+                )
+            return evaluate
+
+        probes = []
+        found, evaluations = bisect_cliff(make_eval(probes), min_bits, max_bits)
+
+        exhaustive = next((m for m in range(min_bits, max_bits + 1) if m >= cliff), None)
+        assert found == exhaustive
+        assert len(evaluations) == len(probes)
+        assert len(evaluations) <= max_bisection_runs(min_bits, max_bits)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            bisect_cliff(lambda b: None, 0, 10)
+        with pytest.raises(ValueError):
+            bisect_cliff(lambda b: None, 10, 9)
+
+    def test_run_bound_formula(self):
+        assert max_bisection_runs(4, 4) == 1
+        assert max_bisection_runs(4, 5) == 2
+        assert max_bisection_runs(1, 64) == 7
+        assert max_bisection_runs(8, 48) == math.ceil(math.log2(41)) + 1
+
+
+# ---------------------------------------------------------------------------
+# find_cliff on the synthetic scenario (full protocol path)
+# ---------------------------------------------------------------------------
+class TestFindCliffSynthetic:
+    @given(
+        threshold_bits=st.integers(min_value=1, max_value=50),
+        min_bits=st.integers(min_value=1, max_value=20),
+        span=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_converges_to_the_exhaustive_grid_cliff(self, threshold_bits, min_bits, span):
+        max_bits = min(min_bits + span, 52)  # FP64 storage caps the mantissa
+        threshold = 2.0 ** -threshold_bits
+        workload = SyntheticCliffWorkload()
+        reference = workload.reference().detach()
+
+        # the exhaustive grid: smallest m in range with error(m) <= threshold
+        def passes(m):
+            out = workload.run(policy=None) if m >= 53 else None
+            error = abs(2.0 ** -m - 2.0 ** -53)
+            return error <= threshold
+
+        exhaustive = next((m for m in range(min_bits, max_bits + 1) if passes(m)), None)
+
+        result = find_cliff(
+            workload,
+            PolicySpec.everywhere(),
+            min_man_bits=min_bits,
+            max_man_bits=max_bits,
+            threshold=threshold,
+            reference=reference,
+        )
+        assert result.cliff_man_bits == exhaustive
+        assert result.n_runs <= max_bisection_runs(min_bits, max_bits)
+        assert result.found == (exhaustive is not None)
+
+    def test_evaluations_record_the_bisection_trace(self):
+        workload = SyntheticCliffWorkload()
+        result = find_cliff(
+            workload, PolicySpec.everywhere(), min_man_bits=1, max_man_bits=32,
+            threshold=2.0 ** -16,
+        )
+        assert result.evaluations[0].man_bits == 32  # top probe first
+        # error(16) = 2^-16 - 2^-53 <= 2^-16 passes; error(15) does not
+        assert result.cliff_man_bits == 16
+        assert all(e.error >= 0 for e in result.evaluations)
+        assert result.last_failing_bits == result.cliff_man_bits - 1
+
+    def test_instance_with_config_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="config_kwargs"):
+            find_cliff(SyntheticCliffWorkload(), config_kwargs={"x": 1})
+
+    def test_non_scenario_rejected(self):
+        class NotAScenario:
+            name = "nope"
+
+        with pytest.raises(ValueError, match="scenario protocol"):
+            find_cliff(NotAScenario())
+
+
+# ---------------------------------------------------------------------------
+# find_cliff on the real cellular workload, vs a real exhaustive grid
+# ---------------------------------------------------------------------------
+class TestFindCliffCellular:
+    @pytest.fixture(scope="class")
+    def exhaustive(self):
+        """Exhaustive pass/fail scan of the cellular EOS invariant."""
+        from repro.workloads import CellularConfig, CellularWorkload
+
+        workload = CellularWorkload(CellularConfig(**CELLULAR_FAST))
+        reference = workload.reference().detach()
+        policy = PolicySpec.module("eos")
+        from repro.core.fpformat import FPFormat
+
+        profile = {}
+        for man_bits in range(28, 41):
+            rt = RaptorRuntime()
+            built = policy.build(FPFormat(11, man_bits), rt)
+            outcome = workload.run(policy=built, runtime=rt)
+            profile[man_bits] = workload.acceptable(outcome, reference)
+        return workload, reference, profile
+
+    def test_profile_is_monotone(self, exhaustive):
+        _, _, profile = exhaustive
+        outcomes = [profile[m] for m in sorted(profile)]
+        first_pass = outcomes.index(True)
+        assert all(outcomes[first_pass:]) and not any(outcomes[:first_pass])
+
+    def test_bisection_matches_the_exhaustive_cliff(self, exhaustive):
+        workload, reference, profile = exhaustive
+        expected = next(m for m in sorted(profile) if profile[m])
+        result = find_cliff(
+            workload,
+            PolicySpec.module("eos"),
+            min_man_bits=28,
+            max_man_bits=40,
+            reference=reference,
+        )
+        assert result.cliff_man_bits == expected
+        assert result.n_runs <= max_bisection_runs(28, 40)
+
+    def test_cache_serves_the_reference(self, tmp_path):
+        cache = ReferenceCache(tmp_path)
+        kwargs = dict(
+            config_kwargs=CELLULAR_FAST, min_man_bits=30, max_man_bits=38, cache=cache,
+        )
+        first = find_cliff("cellular", PolicySpec.module("eos"), **kwargs)
+        assert cache.stats.misses == 1 and cache.stats.stores == 1
+        second = find_cliff("cellular", PolicySpec.module("eos"), **kwargs)
+        assert cache.stats.hits == 1
+        assert first.cliff_man_bits == second.cliff_man_bits
+        assert [e.error for e in first.evaluations] == [e.error for e in second.evaluations]
+
+    def test_cache_shared_between_name_and_instance_spellings(self, tmp_path):
+        from repro.workloads import CellularConfig, CellularWorkload
+
+        cache = ReferenceCache(tmp_path)
+        by_name = find_cliff(
+            "cellular", PolicySpec.module("eos"),
+            config_kwargs=CELLULAR_FAST, min_man_bits=30, max_man_bits=38, cache=cache,
+        )
+        assert cache.stats.stores == 1
+        # a ready-made instance with the same effective config hits the
+        # same content address — no reference recomputation
+        instance = CellularWorkload(CellularConfig(**CELLULAR_FAST))
+        by_instance = find_cliff(
+            instance, PolicySpec.module("eos"),
+            min_man_bits=30, max_man_bits=38, cache=cache,
+        )
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+        assert by_instance.cliff_man_bits == by_name.cliff_man_bits
+        assert [e.error for e in by_instance.evaluations] == [
+            e.error for e in by_name.evaluations
+        ]
+
+    def test_unregistered_instance_with_cache_still_works(self, tmp_path):
+        cache = ReferenceCache(tmp_path)
+        result = find_cliff(
+            SyntheticCliffWorkload(), PolicySpec.everywhere(),
+            min_man_bits=1, max_man_bits=16, threshold=2.0 ** -8, cache=cache,
+        )
+        assert result.found  # reference computed on the spot, cache skipped
+
+
+# ---------------------------------------------------------------------------
+# the grid driver
+# ---------------------------------------------------------------------------
+class TestAdaptiveSweep:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return AdaptiveSpec(
+            workloads=["cellular"],
+            policies=[PolicySpec.module("eos")],
+            min_man_bits=28,
+            max_man_bits=40,
+            workload_configs={"cellular": CELLULAR_FAST},
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_result(self, spec):
+        return run_adaptive_sweep(spec)
+
+    def test_cells_and_cliffs_in_grid_order(self, serial_result):
+        assert len(serial_result) == 1
+        cliff = serial_result.cliffs[0]
+        assert cliff.workload == "cellular"
+        assert cliff.found
+        assert cliff.n_runs <= max_bisection_runs(28, 40)
+        assert serial_result.total_runs == cliff.n_runs
+
+    def test_serial_and_process_backends_identical(self, spec, serial_result):
+        process = run_adaptive_sweep(spec.with_backend("process", max_workers=2))
+        assert [c.to_dict() for c in process.cliffs] == [
+            c.to_dict() for c in serial_result.cliffs
+        ]
+
+    def test_table_and_to_dict(self, serial_result):
+        import json
+
+        table = serial_result.table()
+        assert "cellular" in table and "module[eos]" in table
+        payload = serial_result.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["total_runs"] == serial_result.total_runs
+
+    def test_shard_merge_bitwise_identical(self, tmp_path):
+        spec = AdaptiveSpec(
+            workloads=["cellular"],
+            policies=[PolicySpec.module("eos"), PolicySpec.everywhere(modules=("eos",))],
+            min_man_bits=30,
+            max_man_bits=38,
+            workload_configs={"cellular": CELLULAR_FAST},
+        )
+        whole = run_adaptive_sweep(spec)
+        shards = []
+        for i in range(2):
+            result = run_adaptive_sweep(spec.shard(i, 2))
+            path = result.save(tmp_path / f"shard{i}.pkl")
+            shards.append(AdaptiveResult.load(path))
+        merged = AdaptiveResult.merge(*shards)
+        assert [c.to_dict() for c in merged.cliffs] == [c.to_dict() for c in whole.cliffs]
+
+    def test_merge_rejects_incomplete_coverage(self, spec):
+        shard = run_adaptive_sweep(
+            AdaptiveSpec(
+                workloads=["cellular"],
+                policies=[PolicySpec.module("eos"), PolicySpec.everywhere(modules=("eos",))],
+                min_man_bits=30,
+                max_man_bits=34,
+                workload_configs={"cellular": CELLULAR_FAST},
+            ).shard(0, 2)
+        )
+        with pytest.raises(ValueError, match="missing cell"):
+            AdaptiveResult.merge(shard)
+
+    def test_warm_cache_launches_zero_reference_tasks(self, spec, tmp_path, monkeypatch):
+        from repro.experiments import engine
+
+        cache = ReferenceCache(tmp_path)
+        run_adaptive_sweep(spec, cache=cache)
+
+        def _boom(task):
+            raise AssertionError("reference task launched despite a warm cache")
+
+        monkeypatch.setattr(engine, "_execute_reference", _boom)
+        warm = run_adaptive_sweep(spec, cache=cache)
+        assert warm.cache_stats["hits"] == 1 and warm.cache_stats["misses"] == 0
+
+
+class TestDefaultPolicies:
+    """With no explicit policy, the search must target each workload's own
+    truncation modules — a fixed hydro policy truncates nothing for
+    cellular/bubble and would report a vacuous cliff at min_man_bits."""
+
+    def test_default_policy_targets_each_workloads_modules(self):
+        from repro.experiments.adaptive import default_policy_for
+
+        assert default_policy_for("sod").modules == ("hydro",)
+        assert default_policy_for("cellular").modules == ("eos",)
+        assert default_policy_for("bubble").modules == ("advection", "diffusion")
+
+    def test_spec_default_policies_are_per_workload(self):
+        spec = AdaptiveSpec(workloads=["sod", "cellular"])
+        spec.validate()
+        cells = spec.full_cells()
+        assert cells[0].policy.modules == ("hydro",)
+        assert cells[1].policy.modules == ("eos",)
+
+    def test_policy_missing_the_workloads_modules_warns_vacuous(self):
+        with pytest.warns(RuntimeWarning, match="vacuous"):
+            result = find_cliff(
+                "cellular",
+                PolicySpec.everywhere(modules=("hydro",)),
+                config_kwargs=dict(n_cells=16, n_steps=4),
+                min_man_bits=2,
+                max_man_bits=4,
+            )
+        # nothing was truncated: every probe trivially at full precision
+        assert all(e.truncated_fraction == 0.0 for e in result.evaluations)
+
+    def test_matching_policy_does_not_warn(self, recwarn):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            find_cliff(
+                "cellular",
+                config_kwargs=dict(n_cells=16, n_steps=4),
+                min_man_bits=30,
+                max_man_bits=32,
+            )
+
+
+class TestAdaptiveSpecValidation:
+    def test_defaults_validate(self):
+        AdaptiveSpec().validate()
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ValueError, match="min_man_bits"):
+            AdaptiveSpec(min_man_bits=0).validate()
+        with pytest.raises(ValueError, match="max_man_bits"):
+            AdaptiveSpec(min_man_bits=10, max_man_bits=9).validate()
+
+    def test_duplicate_and_unknown_workloads_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AdaptiveSpec(workloads=["kh", "kelvin-helmholtz"]).validate()
+        with pytest.raises(KeyError):
+            AdaptiveSpec(workloads=["no-such-thing"]).validate()
+
+    def test_thresholds_are_alias_aware(self):
+        spec = AdaptiveSpec(workloads=["kh"], thresholds={"kelvin-helmholtz": 0.5})
+        spec.validate()
+        assert spec.threshold_for("kh") == 0.5
+        spec = AdaptiveSpec(workloads=["kh"], threshold=0.25)
+        assert spec.threshold_for("kh") == 0.25
+        assert AdaptiveSpec(workloads=["kh"]).threshold_for("kh") is None
+
+    def test_threshold_for_unlisted_workload_rejected(self):
+        with pytest.raises(ValueError, match="not in workloads"):
+            AdaptiveSpec(workloads=["sod"], thresholds={"kh": 0.5}).validate()
+
+    def test_sharding_validation(self):
+        spec = AdaptiveSpec(workloads=["sod", "sedov"])
+        assert len(spec.shard(0, 2).cells()) + len(spec.shard(1, 2).cells()) == len(spec.cells())
+        with pytest.raises(ValueError, match="already sharded"):
+            spec.shard(0, 2).shard(0, 2)

@@ -71,6 +71,32 @@ class TestKeys:
         assert fp == solver_fingerprint()
         assert len(fp) == 64 and int(fp, 16) >= 0
 
+    def test_cellular_key_carries_cells_and_steps(self):
+        key = reference_key("cellular", dict(n_cells=32, n_steps=8))
+        assert key.grid_shape == (32,)
+        assert key.n_steps == 8
+        assert key.filename().startswith("cellular-32-s8-")
+        assert key != reference_key("cellular", dict(n_cells=32, n_steps=9))
+
+    def test_bubble_key_carries_grid_and_fixed_steps(self):
+        from repro.incomp import BubbleConfig
+
+        kwargs = dict(
+            solver=BubbleConfig(nx=16, ny=24),
+            spin_up_time=0.04, truncation_time=0.06, fixed_dt=0.004,
+        )
+        key = reference_key("bubble", kwargs)
+        assert key.grid_shape == (16, 24)
+        assert key.n_steps == 15  # truncation_time / fixed_dt
+        assert key != reference_key("bubble", dict(kwargs, truncation_time=0.08))
+
+    def test_nested_dataclass_configs_hash_deterministically(self):
+        # CellularConfig nests NewtonSolverConfig and CarbonBurnNetwork;
+        # the digest must not depend on object identity
+        a = reference_key("cellular", dict(n_cells=32))
+        b = reference_key("cellular", dict(n_cells=32))
+        assert a == b
+
 
 # ---------------------------------------------------------------------------
 # the two levels
@@ -138,6 +164,59 @@ class TestNpzStore:
         assert store.read_fingerprint(key) is None
         store.write(key, _reference(), "fp-abc")
         assert store.read_fingerprint(key) == "fp-abc"
+
+    def test_cellular_reference_round_trips_bit_exact(self, tmp_path):
+        store = NpzReferenceStore(tmp_path)
+        key = reference_key("cellular", dict(n_cells=8, n_steps=3))
+        ref = ReferenceResult(
+            workload="cellular",
+            info={"eos_converged": 1.0, "detonation_propagated": 1.0},
+            runtime_snapshot={"ops": {"truncated": 5, "full": 2}},
+            state={
+                "dens": np.full(8, 1.0e7),
+                "temp": np.geomspace(2e8, 3.5e9, 8),
+                "front_positions": np.array([20.0, 24.0, 28.0]),
+                "times": np.array([0.1, 0.2, 0.3]) * 1e-7,
+            },
+            time=3e-8,
+            kind="cellular",
+        )
+        store.write(key, ref, "finger")
+        loaded, _ = store.read(key)
+        assert loaded.kind == "cellular"
+        assert loaded.info == ref.info
+        for name in ref.state:
+            np.testing.assert_array_equal(loaded.state[name], ref.state[name])
+
+    def test_bubble_levelset_reference_round_trips_bit_exact(self, tmp_path):
+        from repro.incomp import BubbleConfig
+
+        rng = np.random.default_rng(7)
+        phi = rng.normal(size=(16, 24))
+        ref = ReferenceResult(
+            workload="bubble",
+            info={"gas_volume": 0.42, "fragments": 2.0},
+            runtime_snapshot={},
+            state={
+                "phi": phi,
+                "phi_snap0": phi * 0.5,
+                "centroid": rng.normal(size=15),
+                "snapshot_times": np.array([0.03, 0.06]),
+            },
+            time=0.1,
+            kind="bubble",
+        )
+        store = NpzReferenceStore(tmp_path)
+        key = reference_key(
+            "bubble",
+            dict(solver=BubbleConfig(nx=16, ny=24), truncation_time=0.06, fixed_dt=0.004),
+        )
+        store.write(key, ref, "finger")
+        loaded, _ = store.read(key)
+        assert loaded.kind == "bubble"
+        for name in ref.state:
+            assert loaded.state[name].dtype == np.float64
+            np.testing.assert_array_equal(loaded.state[name], ref.state[name])
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,181 @@
+"""Engine coverage for the unified scenario protocol: the cellular and
+bubble workloads run through ``run_sweep`` exactly like the compressible
+ones — cached, sharded, and bit-identical across backends."""
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PolicySpec,
+    ReferenceCache,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
+from repro.incomp import BubbleConfig
+
+CELLULAR_FAST = dict(n_cells=32, n_steps=8)
+BUBBLE_FAST = dict(
+    solver=BubbleConfig(
+        nx=16, ny=24, xlim=(-1.0, 1.0), ylim=(-1.0, 2.0),
+        reynolds=700.0, advection_scheme="upwind", reinit_interval=4,
+    ),
+    spin_up_time=0.04,
+    truncation_time=0.06,
+    snapshot_times=(0.03, 0.06),
+    fixed_dt=0.004,
+)
+SOD_FAST = dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2, t_end=0.005, rk_stages=1)
+
+
+def _cellular_spec(**overrides) -> SweepSpec:
+    base = dict(
+        workloads=["cellular"],
+        formats=["e11m46", "e11m12"],
+        policies=[PolicySpec.module("eos")],
+        workload_configs={"cellular": CELLULAR_FAST},
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+def _bubble_spec(**overrides) -> SweepSpec:
+    base = dict(
+        workloads=["bubble"],
+        formats=["fp64", "e8m4"],
+        policies=[PolicySpec.everywhere(modules=("advection", "diffusion"))],
+        workload_configs={"bubble": BUBBLE_FAST},
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestCellularThroughEngine:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sweep(_cellular_spec())
+
+    def test_points_carry_cellular_metrics(self, result):
+        wide, narrow = result.points
+        assert wide.info["eos_converged"] == 1.0
+        assert narrow.info["eos_converged"] == 0.0
+        # default error variables of the cellular scenario
+        assert set(wide.errors) == {"dens", "temp"}
+        assert wide.l1("dens") < narrow.l1("dens")
+
+    def test_reference_recorded_with_cellular_state(self, result):
+        ref = result.references["cellular"]
+        assert ref.kind == "cellular"
+        assert "front_positions" in ref.state
+        assert ref.info["detonation_propagated"] == 1.0
+
+    def test_serial_and_process_backends_identical(self, result):
+        process = run_sweep(_cellular_spec(backend="process", max_workers=2))
+        for a, b in zip(result.points, process.points):
+            assert a.metrics_key() == b.metrics_key()
+            assert a.errors == b.errors
+
+    def test_scalar_error_is_front_deviation(self, result):
+        for p in result.points:
+            assert p.scalar_error >= 0.0
+
+
+class TestBubbleThroughEngine:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sweep(_bubble_spec())
+
+    def test_points_carry_interface_metrics(self, result):
+        fp64_point, narrow = result.points
+        assert set(fp64_point.errors) == {"phi"}
+        # the fp64 point is bit-identical to the reference
+        assert fp64_point.scalar_error == 0.0
+        assert fp64_point.l1("phi") == 0.0
+        assert narrow.scalar_error > 0.0
+        assert narrow.truncated_fraction > 0.0
+
+    def test_serial_and_process_backends_identical(self, result):
+        process = run_sweep(_bubble_spec(backend="process", max_workers=2))
+        for a, b in zip(result.points, process.points):
+            assert a.metrics_key() == b.metrics_key()
+            assert a.errors == b.errors
+
+    def test_cutoff_policy_reduces_interface_error(self, result):
+        cutoff = run_sweep(
+            _bubble_spec(
+                formats=["e8m4"],
+                policies=[PolicySpec.amr_cutoff(2, modules=("advection", "diffusion"))],
+            )
+        )
+        everywhere_error = result.points[1].scalar_error
+        assert cutoff.points[0].scalar_error <= everywhere_error + 1e-12
+
+
+class TestMixedKindSweep:
+    """One grid mixing all three scenario kinds, with per-workload error
+    variables (variables=None) — the tentpole end to end."""
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return SweepSpec(
+            workloads=["sod", "cellular", "bubble"],
+            formats=["e11m40", "e11m10"],
+            policies=[PolicySpec.everywhere(modules=("hydro", "eos", "advection", "diffusion"))],
+            workload_configs={
+                "sod": SOD_FAST,
+                "cellular": CELLULAR_FAST,
+                "bubble": BUBBLE_FAST,
+            },
+        )
+
+    @pytest.fixture(scope="class")
+    def result(self, spec):
+        return run_sweep(spec)
+
+    def test_all_seven_registered_workloads_validate(self):
+        from repro.workloads import available_workloads
+
+        spec = SweepSpec(workloads=available_workloads(), formats=["bf16"])
+        spec.validate()  # all seven accepted by the sweep engine
+
+    def test_points_in_grid_order_with_per_workload_errors(self, result):
+        assert [p.workload for p in result.points] == [
+            "sod", "sod", "cellular", "cellular", "bubble", "bubble",
+        ]
+        by_workload = {p.workload: p for p in result.points}
+        assert set(by_workload["sod"].errors) == {"dens"}
+        assert set(by_workload["cellular"].errors) == {"dens", "temp"}
+        assert set(by_workload["bubble"].errors) == {"phi"}
+
+    def test_references_cover_all_kinds(self, result):
+        kinds = {result.references[name].kind for name in result.references}
+        assert kinds == {"compressible", "cellular", "bubble"}
+
+    def test_rollup_and_to_dict(self, result):
+        import json
+
+        rollup = result.rollup()
+        assert rollup.ops.truncated > 0
+        payload = result.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_shard_merge_bitwise_identical(self, spec, result, tmp_path):
+        shards = []
+        for i in range(3):
+            shard_result = run_sweep(spec.shard(i, 3))
+            path = shard_result.save(tmp_path / f"shard{i}.pkl")
+            shards.append(SweepResult.load(path))
+        merged = SweepResult.merge(*shards)
+        assert len(merged) == len(result)
+        for a, b in zip(result.points, merged.points):
+            assert a.metrics_key() == b.metrics_key()
+
+    def test_warm_cache_serves_all_kinds(self, spec, result, tmp_path):
+        cache = ReferenceCache(tmp_path / "refs")
+        cold = run_sweep(spec, cache=cache)
+        assert cold.cache_stats["misses"] == 3 and cold.cache_stats["stores"] == 3
+        # disk-only round trip: references come back through .npz alone
+        disk_only = ReferenceCache(tmp_path / "refs", max_memory_entries=0)
+        warm = run_sweep(spec, cache=disk_only)
+        assert warm.cache_stats["hits"] == 3 and warm.cache_stats["misses"] == 0
+        for a, b in zip(cold.points, warm.points):
+            assert a.metrics_key() == b.metrics_key()

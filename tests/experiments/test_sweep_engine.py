@@ -210,9 +210,26 @@ class TestReviewRegressions:
     alias-aware dedup, and config gravity override."""
 
     def test_non_sweepable_workload_fails_validation(self):
-        spec = _spec(workloads=["bubble"], workload_configs={})
-        with pytest.raises(ValueError, match="sweep protocol"):
-            spec.validate()
+        from repro.workloads import register_workload, unregister_workload
+
+        class LookupOnly:
+            """Registered for name lookup, no scenario surface."""
+
+            name = "lookup-only"
+
+        register_workload(LookupOnly)
+        try:
+            spec = _spec(workloads=["lookup-only"], workload_configs={})
+            with pytest.raises(ValueError, match="scenario \\(sweep\\) protocol"):
+                spec.validate()
+        finally:
+            unregister_workload("lookup-only")
+
+    def test_every_registered_workload_is_sweepable(self):
+        from repro.workloads import available_workloads, get_workload_class, is_scenario
+
+        for name in available_workloads():
+            assert is_scenario(get_workload_class(name)), name
 
     def test_alias_duplicates_are_rejected(self):
         spec = _spec(workloads=["kh", "kelvin-helmholtz"])
@@ -325,6 +342,19 @@ class TestVariableValidation:
         spec = _spec(variables=())
         with pytest.raises(ValueError, match="at least one error variable"):
             spec.validate()
+
+    def test_variable_missing_on_one_workload_names_it(self):
+        # "phi" exists on bubble but not on the compressible workloads
+        spec = _spec(variables=("phi",))
+        with pytest.raises(ValueError, match="variables=None"):
+            spec.validate()
+
+    def test_variables_none_uses_per_workload_defaults(self):
+        spec = _spec(variables=None)
+        spec.validate()
+        assert spec.variables_for("kelvin-helmholtz") == ("dens",)
+        assert spec.variables_for("bubble") == ("phi",)
+        assert spec.variables_for("cellular") == ("dens", "temp")
 
 
 class TestAliasAwareConfigs:
