@@ -1,0 +1,153 @@
+"""Kernel-plane benchmark: instrumented vs fused fast plane, per workload.
+
+Times the full-precision *reference* run of each workload on both kernel
+planes (see ``repro.kernels``), verifies the final states are bitwise
+identical — the fast plane's contract — and records the comparison to
+``benchmarks/results/BENCH_kernels.json`` so the perf trajectory is tracked
+PR-over-PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full set
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick    # CI sanity
+
+``--quick`` shrinks the configurations and repeats, prints the same table,
+and still enforces bitwise identity (but not the speedup floor, which is
+only meaningful at the full sizes).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_kernels.json"
+
+#: per-workload reference configurations (sweep-scale grids, the engine's
+#: actual hot path); the quick variant trims steps, not structure
+CONFIGS = {
+    "sod": dict(
+        full=dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3,
+                  t_end=0.04, rk_stages=1, reconstruction="plm"),
+        quick=dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+                   t_end=0.01, rk_stages=1, reconstruction="plm"),
+    ),
+    "sedov": dict(
+        full=dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3,
+                  t_end=0.02, rk_stages=1, reconstruction="weno5"),
+        quick=dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+                   t_end=0.005, rk_stages=1, reconstruction="weno5"),
+    ),
+    "kelvin-helmholtz": dict(
+        full=dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+                  t_end=0.02, rk_stages=1),
+        quick=dict(nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+                   t_end=0.004, rk_stages=1),
+    ),
+    "cellular": dict(
+        full=dict(n_cells=64, n_steps=24),
+        quick=dict(n_cells=16, n_steps=4),
+    ),
+}
+
+
+def _time_reference(workload_factory, plane: str, repeat: int):
+    """Best-of-``repeat`` wall-clock of a reference run on ``plane``."""
+    best = np.inf
+    outcome = None
+    for _ in range(repeat):
+        workload = workload_factory()
+        start = time.perf_counter()
+        outcome = workload.reference(plane=plane)
+        best = min(best, time.perf_counter() - start)
+    return best, outcome
+
+
+def run_benchmark(quick: bool, repeat: int):
+    from repro.workloads import create_workload
+
+    flavour = "quick" if quick else "full"
+    records = []
+    for name, variants in CONFIGS.items():
+        config = variants[flavour]
+        factory = lambda: create_workload(name, **config)
+        instrumented_s, instrumented = _time_reference(factory, "instrumented", repeat)
+        fast_s, fast = _time_reference(factory, "fast", repeat)
+
+        for key in instrumented.state:
+            if not np.array_equal(instrumented.state[key], fast.state[key]):
+                raise SystemExit(
+                    f"PLANE MISMATCH: {name} variable {key!r} differs between "
+                    "the instrumented and the fast plane — the fast plane's "
+                    "bit-identity contract is broken"
+                )
+
+        records.append({
+            "workload": name,
+            "config": config,
+            "repeat": repeat,
+            "instrumented_seconds": instrumented_s,
+            "fast_seconds": fast_s,
+            "speedup": instrumented_s / fast_s if fast_s > 0 else float("inf"),
+            "bitwise_identical": True,
+        })
+    return {"mode": flavour, "workloads": records}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sanity mode: tiny configs, one repeat, no JSON record")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timing repeats per (workload, plane); best-of wins")
+    parser.add_argument("--out", default=None,
+                        help=f"result path (default {RESULTS_PATH})")
+    args = parser.parse_args(argv)
+
+    repeat = args.repeat if args.repeat is not None else (1 if args.quick else 3)
+    payload = run_benchmark(args.quick, repeat)
+
+    from repro.core import format_table
+
+    rows = [
+        [
+            r["workload"],
+            f"{r['instrumented_seconds']:.3f}",
+            f"{r['fast_seconds']:.3f}",
+            f"{r['speedup']:.2f}x",
+            "yes",
+        ]
+        for r in payload["workloads"]
+    ]
+    print(f"\n=== kernel planes: reference runs, {payload['mode']} mode ===")
+    print(format_table(
+        ["workload", "instrumented [s]", "fast [s]", "speedup", "bitwise identical"], rows
+    ))
+
+    if args.quick and args.out is None:
+        # sanity mode: identity + a plausible timing was enough, don't
+        # overwrite the tracked record with throwaway numbers
+        return 0
+
+    out = Path(args.out) if args.out is not None else RESULTS_PATH
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {out}")
+
+    fast_enough = [r for r in payload["workloads"] if r["speedup"] >= 3.0]
+    if payload["mode"] == "full" and len(fast_enough) < 2:
+        print(
+            "WARNING: fewer than two workloads reached the 3x reference "
+            "speedup the kernel plane targets", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,9 @@
 Every file in this directory regenerates one table or figure of the paper
 (see DESIGN.md's per-experiment index).  The harness prints the same rows /
 series the paper reports and stores them as JSON under
-``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+``benchmarks/results/`` so EXPERIMENTS.md can reference them.  Result files
+follow one naming convention: ``BENCH_<name>.json`` (:func:`save_results`
+applies the prefix).
 
 The default configurations are deliberately small (laptop-scale, a few
 minutes for the whole directory).  Set ``RAPTOR_BENCH_FULL=1`` for a denser
@@ -28,8 +30,9 @@ MANTISSA_POINTS = (
 
 
 def save_results(name: str, payload) -> Path:
+    """Write a benchmark record to ``results/BENCH_<name>.json``."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"{name}.json"
+    path = RESULTS_DIR / f"BENCH_{name}.json"
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=str)
     return path

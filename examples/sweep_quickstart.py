@@ -20,6 +20,11 @@ Useful variations::
     python examples/sweep_quickstart.py --workloads kh --formats fp32,bf16 \
         --max-level 2 --t-end 0.005 --backend process
 
+    # kernel planes: references already run fused by default (--plane auto);
+    # --plane fast also runs the points' full-precision contexts fused, and
+    # --plane instrumented restores the fully counted classic behaviour
+    python examples/sweep_quickstart.py --workloads kh --plane fast
+
     # the cellular detonation through the same engine (module-selective
     # truncation of the EOS, per-workload config overrides)
     python examples/sweep_quickstart.py --workloads cellular \
@@ -129,6 +134,17 @@ def parse_args() -> argparse.Namespace:
         "--variables",
         default=None,
         help="comma-separated error variables; default: each workload's own",
+    )
+    parser.add_argument(
+        "--plane",
+        default="auto",
+        choices=["instrumented", "fast", "auto"],
+        help="kernel plane of non-truncating contexts (repro.kernels): "
+        "auto (default) runs reference tasks on the fused binary64 fast "
+        "plane and keeps counting contexts instrumented; fast also runs "
+        "the sweep points' full-precision contexts fused (bit-identical "
+        "states, those counters dropped); instrumented disables the fast "
+        "plane everywhere",
     )
     parser.add_argument("--backend", default="serial", choices=["serial", "process"])
     parser.add_argument("--max-workers", type=int, default=None)
@@ -248,6 +264,12 @@ def report_sweep(result: SweepResult, args: argparse.Namespace, merged: bool = F
             ],
         )
     )
+    # merge() sums shard elapsed times: aggregate compute, nobody's wall-clock
+    label = "aggregate shard time" if merged else "wall-clock"
+    print(
+        f"{label}: {result.elapsed_seconds:.2f}s"
+        f" ({result.total_point_seconds:.2f}s in point workers, plane={result.spec.plane})"
+    )
     if result.cache_stats is not None:
         print("reference cache: " + CacheStats(**result.cache_stats).describe())
 
@@ -332,6 +354,7 @@ def main() -> None:
             exp_bits=args.exp_bits,
             threshold=args.threshold,
             workload_configs=workload_configs,
+            plane=args.plane,
             backend=args.backend,
             max_workers=args.max_workers,
             cache_dir=args.cache_dir,
@@ -351,6 +374,7 @@ def main() -> None:
             policies=[build_policy()],
             workload_configs=workload_configs,
             variables=variables,
+            plane=args.plane,
             backend=args.backend,
             max_workers=args.max_workers,
             cache_dir=args.cache_dir,

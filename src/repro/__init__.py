@@ -6,6 +6,8 @@ The package is organised as:
 
 * :mod:`repro.core`      — the profiling tool itself (formats, quantisation,
   op-mode / mem-mode runtimes, instrumentation, selective policies).
+* :mod:`repro.kernels`   — the kernel-plane layer: instrumented vs fused
+  binary64 fast execution of the solvers' numerics contexts.
 * :mod:`repro.codesign`  — the hardware co-design model of Section 7.2.
 * :mod:`repro.amr`       — block-structured AMR substrate (Flash-X analogue).
 * :mod:`repro.hydro`     — compressible hydrodynamics solver (Spark analogue).

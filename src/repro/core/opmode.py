@@ -59,6 +59,12 @@ class FPContext:
     truncating: bool = False
     #: format results are representable in (FP64 for the full context)
     fmt: FPFormat = FP64
+    #: execution plane this context runs on (see :mod:`repro.kernels`);
+    #: the fused fast plane overrides this to "fast"
+    plane: str = "instrumented"
+    #: True when kernels may substitute the pre-fused numpy stencils of
+    #: :mod:`repro.kernels.fused` for the op-by-op context path
+    fused: bool = False
 
     # -- to be provided by subclasses ---------------------------------------
     def _apply(self, ufunc, inputs: Sequence[ArrayLike], label: str):

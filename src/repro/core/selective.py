@@ -42,16 +42,28 @@ class TruncationPolicy:
 
     Subclasses implement :meth:`should_truncate`; the base class handles
     context construction and caching so repeated queries are cheap.
+
+    ``plane`` selects the kernel plane of the *non-truncating* contexts the
+    policy hands out (see :mod:`repro.kernels`): ``"auto"`` (default)
+    substitutes the fused binary64 fast plane only where nothing would be
+    recorded anyway, ``"fast"`` substitutes it for every full-precision
+    context (states bit-identical, counters for those contexts dropped),
+    ``"instrumented"`` never substitutes.  Truncating and shadow contexts
+    always stay instrumented — they are the measurement.
     """
 
     def __init__(
         self,
         config: Optional[TruncationConfig],
         runtime: Optional[RaptorRuntime] = None,
+        plane: str = "auto",
     ) -> None:
+        from ..kernels.dispatch import validate_plane
+
         self.config = config
         self.runtime = runtime if runtime is not None else get_runtime()
-        self._full_contexts: Dict[Optional[str], FullPrecisionContext] = {}
+        self.plane = validate_plane(plane)
+        self._full_contexts: Dict[Optional[str], FPContext] = {}
         self._trunc_contexts: Dict[Optional[str], FPContext] = {}
 
     # -- to be overridden -----------------------------------------------------
@@ -65,16 +77,33 @@ class TruncationPolicy:
         raise NotImplementedError
 
     # -- context factory --------------------------------------------------------
-    def _full_context(self, module: Optional[str]) -> FullPrecisionContext:
+    def _full_context(self, module: Optional[str]) -> FPContext:
         ctx = self._full_contexts.get(module)
         if ctx is None:
+            from ..kernels.dispatch import select_context
+
             count = self.config.count_ops if self.config is not None else True
             track = self.config.track_memory if self.config is not None else True
-            ctx = FullPrecisionContext(
-                runtime=self.runtime, count_ops=count, track_memory=track, module=module
+            ctx = select_context(
+                FullPrecisionContext(
+                    runtime=self.runtime, count_ops=count, track_memory=track, module=module
+                ),
+                self.plane,
             )
             self._full_contexts[module] = ctx
         return ctx
+
+    def full_context(self, module: Optional[str] = None) -> FPContext:
+        """The full-precision context of this policy for ``module``, on the
+        policy's kernel plane — for code that always runs untruncated but
+        should still ride the fast plane when the policy selects it.
+
+        The context is bound to the **policy's** runtime.  Callers that
+        count into a per-run runtime the policy was not built on must
+        instead build their own context and route it through
+        :func:`repro.kernels.select_context` with this policy's ``plane``
+        (see the burn context in ``repro.workloads.cellular``)."""
+        return self._full_context(module)
 
     def _truncated_context(self, module: Optional[str]) -> FPContext:
         ctx = self._trunc_contexts.get(module)
@@ -112,9 +141,15 @@ class TruncationPolicy:
 class NoTruncationPolicy(TruncationPolicy):
     """Full precision everywhere — the reference runs of Section 6."""
 
-    def __init__(self, runtime: Optional[RaptorRuntime] = None, count_ops: bool = True) -> None:
-        cfg = TruncationConfig(enabled=False, count_ops=count_ops)
-        super().__init__(cfg, runtime)
+    def __init__(
+        self,
+        runtime: Optional[RaptorRuntime] = None,
+        count_ops: bool = True,
+        track_memory: bool = True,
+        plane: str = "auto",
+    ) -> None:
+        cfg = TruncationConfig(enabled=False, count_ops=count_ops, track_memory=track_memory)
+        super().__init__(cfg, runtime, plane=plane)
 
     def should_truncate(self, **_kwargs) -> bool:
         return False
@@ -148,8 +183,9 @@ class AMRCutoffPolicy(TruncationPolicy):
         cutoff: int,
         modules: Optional[Iterable[str]] = None,
         runtime: Optional[RaptorRuntime] = None,
+        plane: str = "auto",
     ) -> None:
-        super().__init__(config, runtime)
+        super().__init__(config, runtime, plane=plane)
         if cutoff < 0:
             raise ValueError("cutoff must be >= 0")
         self.cutoff = int(cutoff)
@@ -189,8 +225,9 @@ class ModulePolicy(TruncationPolicy):
         config: TruncationConfig,
         modules: Iterable[str],
         runtime: Optional[RaptorRuntime] = None,
+        plane: str = "auto",
     ) -> None:
-        super().__init__(config, runtime)
+        super().__init__(config, runtime, plane=plane)
         self.modules = set(modules)
 
     def should_truncate(self, module: Optional[str] = None, **_kwargs) -> bool:
@@ -214,8 +251,9 @@ class PredicatePolicy(TruncationPolicy):
         config: TruncationConfig,
         predicate: Callable[[Optional[str], Optional[int], Optional[int], Optional[dict]], bool],
         runtime: Optional[RaptorRuntime] = None,
+        plane: str = "auto",
     ) -> None:
-        super().__init__(config, runtime)
+        super().__init__(config, runtime, plane=plane)
         self.predicate = predicate
 
     def should_truncate(

@@ -48,7 +48,7 @@ from ..workloads.registry import (
 )
 from ..workloads.scenario import Outcome, scenario_protocol_errors
 from .cache import ReferenceCache, reference_key
-from .engine import ReferenceResult, _resolve_cache, gather_references
+from .engine import ReferenceResult, _resolve_cache, gather_references, run_reference
 from .spec import (
     PolicySpec,
     config_kwargs_for,
@@ -219,9 +219,10 @@ def _evaluate_bits(
     exp_bits: int,
     rounding: str,
     threshold: Optional[float],
+    plane: str = "auto",
 ) -> CliffEvaluation:
     runtime = RaptorRuntime(f"{workload.name}-cliff-m{man_bits}")
-    built = policy.build(FPFormat(exp_bits, man_bits), runtime, rounding=rounding)
+    built = policy.build(FPFormat(exp_bits, man_bits), runtime, rounding=rounding, plane=plane)
     outcome = workload.run(policy=built, runtime=runtime)
     evaluate = getattr(workload, "evaluate", None)
     if evaluate is not None:
@@ -252,6 +253,7 @@ def find_cliff(
     cache: Union[ReferenceCache, str, None] = None,
     reference: Optional[Outcome] = None,
     index: int = 0,
+    plane: str = "auto",
 ) -> CliffResult:
     """Bisect the mantissa axis of one (workload, policy) pair.
 
@@ -262,7 +264,9 @@ def find_cliff(
     detonation invariant for cellular — with ``threshold`` overriding the
     class default.  The full-precision ``reference`` is taken from the
     argument, from ``cache`` (a :class:`ReferenceCache` or a directory
-    path), or computed on the spot.
+    path), or computed on the spot (on the fused fast kernel plane unless
+    ``plane="instrumented"``; ``plane`` likewise selects the plane of every
+    probe's non-truncating contexts — see :mod:`repro.kernels`).
     """
     if isinstance(workload, str):
         obj = create_workload(workload, **dict(config_kwargs or {}))
@@ -309,13 +313,15 @@ def find_cliff(
         if key is not None:
             reference = ref_cache.get(key)
             if reference is None:
-                reference = obj.reference().detach()
+                reference = run_reference(obj, plane=plane).detach()
                 ref_cache.put(key, reference)
         else:
-            reference = obj.reference().detach()
+            reference = run_reference(obj, plane=plane).detach()
 
     def evaluate(bits: int) -> CliffEvaluation:
-        return _evaluate_bits(obj, pol, reference, bits, exp_bits, rounding, threshold)
+        return _evaluate_bits(
+            obj, pol, reference, bits, exp_bits, rounding, threshold, plane=plane
+        )
 
     cliff, evaluations = bisect_cliff(evaluate, min_man_bits, max_man_bits)
     return CliffResult(
@@ -373,6 +379,9 @@ class AdaptiveSpec:
     thresholds: Mapping[str, float] = field(default_factory=dict)
     workload_configs: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     rounding: str = RoundingMode.NEAREST_EVEN
+    #: kernel plane of non-truncating contexts (references + untruncated
+    #: probe modules); same semantics as :attr:`SweepSpec.plane`
+    plane: str = "auto"
     backend: str = "serial"
     max_workers: Optional[int] = None
     cache_dir: Optional[str] = None
@@ -382,6 +391,9 @@ class AdaptiveSpec:
     # ------------------------------------------------------------------
     def validate(self) -> None:
         """Check the spec before execution (fail fast, not in a worker)."""
+        from ..kernels import validate_plane
+
+        validate_plane(self.plane)
         if self.policies is not None and not self.policies:
             raise ValueError(
                 "AdaptiveSpec needs at least one policy "
@@ -480,6 +492,7 @@ class _CliffTask:
     reference_state: dict
     reference_time: float
     reference_kind: str
+    plane: str = "auto"
 
 
 def _execute_cliff(task: _CliffTask) -> CliffResult:
@@ -501,6 +514,7 @@ def _execute_cliff(task: _CliffTask) -> CliffResult:
         rounding=task.rounding,
         reference=reference,
         index=cell.index,
+        plane=task.plane,
     )
 
 
@@ -561,6 +575,7 @@ class AdaptiveResult:
             ),
             "bits_range": [self.spec.min_man_bits, self.spec.max_man_bits],
             "exp_bits": self.spec.exp_bits,
+            "plane": self.spec.plane,
             "backend": self.spec.backend,
             "shard": [self.spec.shard_index, self.spec.shard_count],
             "cache": self.cache_stats,
@@ -599,6 +614,7 @@ class AdaptiveResult:
             base.threshold,
             tuple(sorted((canonical_name(k), v) for k, v in base.thresholds.items())),
             base.rounding,
+            base.plane,
             tuple((w, sorted(base.config_kwargs(w).items())) for w in base.workloads),
         )
 
@@ -673,6 +689,7 @@ def run_adaptive_sweep(
         cache=ref_cache,
         backend=spec.backend,
         max_workers=spec.max_workers,
+        plane=spec.plane,
     )
 
     tasks = [
@@ -687,6 +704,7 @@ def run_adaptive_sweep(
             reference_state=references[cell.workload].state,
             reference_time=references[cell.workload].time,
             reference_kind=getattr(references[cell.workload], "kind", "compressible"),
+            plane=spec.plane,
         )
         for cell in cells
     ]

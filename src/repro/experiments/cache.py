@@ -32,8 +32,8 @@ Invalidation
 ------------
 Every entry stores the :func:`solver_fingerprint` current at write time — a
 SHA-256 over the source of all physics packages (``core``, ``amr``,
-``hydro``, ``eos``, ``burn``, ``incomp``, ``workloads``, ``io``) plus
-``repro.__version__``.  A lookup whose stored fingerprint does not match
+``hydro``, ``eos``, ``burn``, ``incomp``, ``kernels``, ``workloads``,
+``io``) plus ``repro.__version__``.  A lookup whose stored fingerprint does not match
 the running code **deletes the entry and reports a miss**: stale physics
 can never be served, and no manual cache-busting is required after editing
 a solver file.
@@ -77,8 +77,9 @@ __all__ = [
 #: subpackages of ``repro`` whose source participates in the physics
 #: fingerprint.  ``experiments`` / ``parallel`` / ``codesign`` are excluded
 #: on purpose: they orchestrate runs but cannot change the numbers a
-#: reference run produces.
-_PHYSICS_PACKAGES = ("core", "amr", "hydro", "eos", "burn", "incomp", "workloads", "io")
+#: reference run produces.  ``kernels`` is included: the fast plane is
+#: contractually bit-identical, but a bug there must invalidate caches.
+_PHYSICS_PACKAGES = ("core", "amr", "hydro", "eos", "burn", "incomp", "kernels", "workloads", "io")
 
 _fingerprint_cache: Optional[str] = None
 

@@ -21,7 +21,9 @@ Two scale features sit on top of that core loop:
 """
 from __future__ import annotations
 
+import inspect
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -32,6 +34,7 @@ from ..core.fpformat import FPFormat
 from ..core.report import format_table
 from ..core.runtime import RaptorRuntime
 from ..io.sfocu import compare
+from ..kernels import reference_plane
 from ..parallel.executor import run_tasks
 from ..workloads.base import CompressibleWorkload
 from ..workloads.registry import create_workload
@@ -39,7 +42,14 @@ from ..workloads.scenario import Outcome
 from .cache import ReferenceCache, reference_key
 from .spec import PolicySpec, SweepPoint, SweepSpec, format_label
 
-__all__ = ["PointResult", "ReferenceResult", "SweepResult", "run_sweep", "gather_references"]
+__all__ = [
+    "PointResult",
+    "ReferenceResult",
+    "SweepResult",
+    "run_reference",
+    "run_sweep",
+    "gather_references",
+]
 
 #: every scenario returns the unified :class:`~repro.workloads.scenario.Outcome`;
 #: a detached outcome *is* the reference record the cache and the result carry
@@ -53,6 +63,7 @@ ReferenceResult = Outcome
 class _ReferenceTask:
     workload: str
     config_kwargs: Dict[str, object]
+    plane: str = "auto"
 
 
 @dataclass
@@ -64,6 +75,7 @@ class _PointTask:
     reference_state: Dict[str, np.ndarray]
     reference_time: float
     keep_state: bool
+    plane: str = "auto"
 
 
 # ---------------------------------------------------------------------------
@@ -89,6 +101,9 @@ class PointResult:
     module_ops: Dict[str, Dict[str, int]]
     info: Dict[str, float]
     runtime_snapshot: dict = field(repr=False)
+    #: wall-clock seconds this point took in its worker (run + comparison);
+    #: machine-dependent, hence deliberately *not* part of :meth:`metrics_key`
+    seconds: float = 0.0
     state: Optional[Dict[str, np.ndarray]] = field(default=None, repr=False)
 
     def l1(self, variable: str = "dens") -> float:
@@ -138,10 +153,20 @@ class SweepResult:
     #: "stores": ..., "invalidations": ..., "evictions": ...}); None when
     #: the run was uncached
     cache_stats: Optional[Dict[str, int]] = None
+    #: wall-clock seconds of the ``run_sweep`` call that produced this
+    #: result.  :meth:`merge` *sums* shard values, so for a merged result
+    #: this is the aggregate compute time across shards, not the elapsed
+    #: time of any one host.
+    elapsed_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.points)
+
+    @property
+    def total_point_seconds(self) -> float:
+        """Summed per-point worker wall-clock (references excluded)."""
+        return float(sum(p.seconds for p in self.points))
 
     def __iter__(self):
         return iter(self.points)
@@ -208,9 +233,11 @@ class SweepResult:
             "workloads": list(self.spec.workloads),
             "formats": [format_label(f) for f in self.spec.resolved_formats()],
             "policies": [p.describe() for p in self.spec.policies],
+            "plane": self.spec.plane,
             "backend": self.spec.backend,
             "shard": [self.spec.shard_index, self.spec.shard_count],
             "cache": self.cache_stats,
+            "elapsed_seconds": self.elapsed_seconds,
             "points": [
                 {
                     "index": p.index,
@@ -223,6 +250,7 @@ class SweepResult:
                     "ops": p.ops,
                     "mem": p.mem,
                     "info": p.info,
+                    "seconds": p.seconds,
                 }
                 for p in self.points
             ],
@@ -265,6 +293,10 @@ class SweepResult:
             base.full_grid(),
             base.variables,
             base.rounding,
+            # the kernel plane changes which contexts feed the counters, so
+            # shards of one sweep must agree on it (states would match, the
+            # merged counter roll-up would not)
+            base.plane,
             tuple((w, sorted(base.config_kwargs(w).items())) for w in base.workloads),
         )
 
@@ -326,15 +358,40 @@ class SweepResult:
             points=[merged_points[index] for index in expected],
             references=references,
             cache_stats=cache_stats,
+            elapsed_seconds=float(sum(r.elapsed_seconds for r in results)),
         )
 
 
 # ---------------------------------------------------------------------------
 # task execution (module-level so tasks pickle under every start method)
 # ---------------------------------------------------------------------------
+def run_reference(workload, plane: str = "auto") -> Outcome:
+    """Execute a workload's full-precision reference on the requested
+    kernel plane (``"auto"`` resolves to the fused fast plane).  The
+    substitution is free for the engine because it never consumes
+    reference counters — point metrics come exclusively from the point
+    runs, and references are compared by state; a fast-plane reference
+    simply freezes zeroed counters into its detached snapshot.
+
+    Duck-typed scenarios whose ``reference()`` predates kernel planes are
+    executed unchanged on the instrumented plane.  Only an explicit
+    ``plane`` parameter opts in — a bare ``**kwargs`` signature (the old
+    protocol default forwarded kwargs straight into ``run``) must not
+    receive the keyword.
+    """
+    resolved = reference_plane(plane)
+    try:
+        parameters = inspect.signature(workload.reference).parameters
+    except (TypeError, ValueError):
+        parameters = {}
+    if "plane" in parameters:
+        return workload.reference(plane=resolved)
+    return workload.reference()
+
+
 def _execute_reference(task: _ReferenceTask) -> ReferenceResult:
     workload = create_workload(task.workload, **task.config_kwargs)
-    outcome = workload.reference().detach()
+    outcome = run_reference(workload, plane=task.plane).detach()
     # key the result by the name the spec used (possibly an alias), so the
     # engine's reference lookup matches its points
     outcome.workload = task.workload
@@ -342,10 +399,11 @@ def _execute_reference(task: _ReferenceTask) -> ReferenceResult:
 
 
 def _execute_point(task: _PointTask) -> PointResult:
+    started = time.perf_counter()
     point = task.point
     workload = create_workload(point.workload, **task.config_kwargs)
     runtime = RaptorRuntime(f"{point.workload}-{point.format_name}-{point.policy.describe()}")
-    policy = point.policy.build(point.fmt, runtime, rounding=task.rounding)
+    policy = point.policy.build(point.fmt, runtime, rounding=task.rounding, plane=task.plane)
     run = workload.run(policy=policy, runtime=runtime)
 
     reference = Outcome(
@@ -392,6 +450,7 @@ def _execute_point(task: _PointTask) -> PointResult:
         module_ops=snapshot["modules"],
         info=dict(run.info),
         runtime_snapshot=snapshot,
+        seconds=time.perf_counter() - started,
         state=(
             {name: np.asarray(run.checkpoint[name]) for name in run.checkpoint.variables()}
             if task.keep_state
@@ -422,11 +481,15 @@ def gather_references(
     cache: Optional[ReferenceCache] = None,
     backend: str = "serial",
     max_workers: Optional[int] = None,
+    plane: str = "auto",
 ) -> Dict[str, ReferenceResult]:
     """Phase 1 of every experiment: one full-precision reference per
     workload, served from ``cache`` when possible and computed on the
-    execution backend otherwise.  Shared by :func:`run_sweep` and the
-    adaptive cliff search (:mod:`repro.experiments.adaptive`)."""
+    execution backend otherwise — by default on the fused fast plane
+    (``plane="auto"``; see :func:`run_reference`), which is bit-identical
+    and several times faster than the counting reference path.  Shared by
+    :func:`run_sweep` and the adaptive cliff search
+    (:mod:`repro.experiments.adaptive`)."""
     references: Dict[str, ReferenceResult] = {}
     if cache is not None:
         keys = {name: reference_key(name, config_kwargs_fn(name)) for name in names}
@@ -442,7 +505,7 @@ def gather_references(
         missing = list(names)
 
     reference_tasks = [
-        _ReferenceTask(workload=name, config_kwargs=config_kwargs_fn(name))
+        _ReferenceTask(workload=name, config_kwargs=config_kwargs_fn(name), plane=plane)
         for name in missing
     ]
     for ref in run_tasks(
@@ -469,6 +532,7 @@ def run_sweep(
     :meth:`SweepSpec.points` (the shard's slice when the spec is sharded).
     """
     spec.validate()
+    started = time.perf_counter()
     points = spec.points()
     ref_cache = _resolve_cache(spec, cache)
     # cache stats reported on the result are *this run's* delta, so a cache
@@ -484,6 +548,7 @@ def run_sweep(
         cache=ref_cache,
         backend=spec.backend,
         max_workers=spec.max_workers,
+        plane=spec.plane,
     )
 
     # every task carries its workload's reference arrays; at the checkpoint
@@ -499,6 +564,7 @@ def run_sweep(
             reference_state=references[point.workload].state,
             reference_time=references[point.workload].time,
             keep_state=spec.keep_states,
+            plane=spec.plane,
         )
         for point in points
     ]
@@ -514,4 +580,5 @@ def run_sweep(
         points=list(results),
         references=references,
         cache_stats=cache_stats,
+        elapsed_seconds=time.perf_counter() - started,
     )

@@ -219,20 +219,27 @@ class PolicySpec:
         fmt: FPFormat,
         runtime: RaptorRuntime,
         rounding: str = RoundingMode.NEAREST_EVEN,
+        plane: str = "auto",
     ) -> TruncationPolicy:
-        """Materialise the policy for one sweep point."""
+        """Materialise the policy for one sweep point.
+
+        ``plane`` selects the kernel plane of the policy's non-truncating
+        contexts (see :mod:`repro.kernels`); truncated contexts always stay
+        instrumented."""
         if self.kind == "none":
-            return NoTruncationPolicy(runtime=runtime)
+            return NoTruncationPolicy(runtime=runtime, plane=plane)
         config = TruncationConfig(targets={64: fmt}, rounding=rounding)
         if self.kind == "amr-cutoff":
-            return AMRCutoffPolicy(config, cutoff=self.cutoff, modules=self.modules, runtime=runtime)
+            return AMRCutoffPolicy(
+                config, cutoff=self.cutoff, modules=self.modules, runtime=runtime, plane=plane
+            )
         if self.kind == "module":
             assert self.modules is not None
-            return ModulePolicy(config, modules=self.modules, runtime=runtime)
+            return ModulePolicy(config, modules=self.modules, runtime=runtime, plane=plane)
         # "global": optionally restricted to modules
         if self.modules:
-            return ModulePolicy(config, modules=self.modules, runtime=runtime)
-        return GlobalPolicy(config, runtime=runtime)
+            return ModulePolicy(config, modules=self.modules, runtime=runtime, plane=plane)
+        return GlobalPolicy(config, runtime=runtime, plane=plane)
 
 
 @dataclass(frozen=True)
@@ -278,6 +285,14 @@ class SweepSpec:
         every swept workload.
     rounding:
         Rounding mode of the truncated operations.
+    plane:
+        Kernel plane of the non-truncating contexts
+        (:mod:`repro.kernels`): ``"auto"`` (default) runs reference tasks
+        on the fused binary64 fast plane and keeps counting contexts
+        instrumented; ``"fast"`` additionally runs every full-precision
+        context of the sweep points on the fast plane (bit-identical
+        states, those counters dropped); ``"instrumented"`` disables the
+        fast plane everywhere.
     backend / max_workers:
         Execution backend ("serial" or "process") and its worker cap.
     keep_states:
@@ -298,6 +313,7 @@ class SweepSpec:
     workload_configs: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     variables: Optional[Tuple[str, ...]] = None
     rounding: str = RoundingMode.NEAREST_EVEN
+    plane: str = "auto"
     backend: str = "serial"
     max_workers: Optional[int] = None
     keep_states: bool = False
@@ -319,6 +335,9 @@ class SweepSpec:
             raise ValueError("SweepSpec needs at least one policy")
         if self.rounding not in RoundingMode.ALL:
             raise ValueError(f"unknown rounding mode {self.rounding!r}")
+        from ..kernels import validate_plane
+
+        validate_plane(self.plane)
         if self.shard_count < 1:
             raise ValueError("shard_count must be >= 1")
         if not (0 <= self.shard_index < self.shard_count):

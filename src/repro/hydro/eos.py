@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.opmode import FPContext, FullPrecisionContext
+from ..kernels import FPContext, FullPrecisionContext
 
 __all__ = ["GammaLawEOS"]
 

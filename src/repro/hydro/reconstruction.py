@@ -11,9 +11,14 @@ cost:
   the paper uses for the Bubble advection operators and the highest-order
   option for the compressible runs).
 
-All arithmetic is expressed through the numerics context, so the
-reconstruction stage can be truncated, shadow-tracked (mem-mode "Recon"
-module of Table 2) or excluded, independently of the other solver stages.
+All arithmetic is expressed through the numerics context obtained from the
+kernel-plane layer (:mod:`repro.kernels`), so the reconstruction stage can
+be truncated, shadow-tracked (mem-mode "Recon" module of Table 2) or
+excluded, independently of the other solver stages.  When the active
+context is on the fused binary64 fast plane (``ctx.fused``),
+:func:`reconstruct` dispatches to the pre-fused numpy stencils of
+:mod:`repro.kernels.fused` instead of the op-by-op path — bit-identical
+results, zero per-op dispatch.
 
 The functions operate on 2-D block arrays including guard cells along the
 sweep axis and return the left/right states at the ``n+1`` interior faces.
@@ -22,7 +27,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from ..core.opmode import FPContext
+from ..kernels import FPContext, fused
 
 __all__ = ["reconstruct", "SCHEMES"]
 
@@ -206,4 +211,6 @@ def reconstruct(
         raise ValueError("weno5 needs at least 3 guard cells")
     if scheme == "plm" and ng < 2:
         raise ValueError("plm needs at least 2 guard cells")
+    if getattr(ctx, "fused", False):
+        return fused.FUSED_SCHEMES[scheme](u, axis, ng, n_faces_minus_1)
     return fn(u, axis, ng, n_faces_minus_1, ctx)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..core.opmode import FPContext
+from ..kernels import FPContext
 from .eos import GammaLawEOS
 
 __all__ = ["euler_flux", "hll_flux", "hllc_flux", "SOLVERS"]

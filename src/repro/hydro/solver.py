@@ -21,8 +21,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..amr.grid import AMRGrid
-from ..core.memmode import ShadowContext
-from ..core.opmode import FPContext, FullPrecisionContext
+from ..kernels import FPContext, FullPrecisionContext, ShadowContext
 from .eos import GammaLawEOS
 from .reconstruction import reconstruct
 from .riemann import SOLVERS

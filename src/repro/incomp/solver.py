@@ -25,8 +25,9 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core.opmode import FPContext, FullPrecisionContext
 from ..hydro.reconstruction import _weno5_edge
+from ..kernels import FPContext, FullPrecisionContext, select_context
+from ..kernels.fused import weno5_edge as _fused_weno5_edge
 from .levelset import LevelSet, circle_level_set
 from .poisson import PoissonSolver
 
@@ -80,9 +81,17 @@ class BubbleConfig:
 
 
 class BubbleSolver:
-    """Fractional-step multiphase solver on a uniform collocated grid."""
+    """Fractional-step multiphase solver on a uniform collocated grid.
 
-    def __init__(self, config: Optional[BubbleConfig] = None) -> None:
+    ``plane`` selects the kernel plane of the solver's *internal*
+    full-precision evaluations (spin-up, the untruncated side of blended
+    cells): the default ``"auto"`` rides the fused fast plane — the
+    internal context records nothing, so the substitution is a pure,
+    bit-identical win — while ``"instrumented"`` keeps every operation on
+    the classic op-by-op plane (the diagnostic escape hatch).
+    """
+
+    def __init__(self, config: Optional[BubbleConfig] = None, plane: str = "auto") -> None:
         self.config = config or BubbleConfig()
         cfg = self.config
         x = cfg.xlim[0] + (np.arange(cfg.nx) + 0.5) * cfg.dx
@@ -96,7 +105,12 @@ class BubbleSolver:
         self.poisson = PoissonSolver(cfg.nx, cfg.ny, cfg.dx, cfg.dy)
         self.time = 0.0
         self.step_count = 0
-        self._full_ctx = FullPrecisionContext(count_ops=False, track_memory=False)
+        # non-counting by construction, so "auto" substitutes the fused
+        # fast plane (bit-identical) and "instrumented" keeps the op-by-op
+        # path
+        self._full_ctx = select_context(
+            FullPrecisionContext(count_ops=False, track_memory=False), plane
+        )
 
     # ------------------------------------------------------------------
     # differential operators (these are the truncation targets)
@@ -116,11 +130,16 @@ class BubbleSolver:
         um3, um2, um1 = cells(-3), cells(-2), cells(-1)
         u0, up1, up2, up3 = cells(0), cells(1), cells(2), cells(3)
 
+        if getattr(ctx, "fused", False):
+            edge = _fused_weno5_edge
+        else:
+            edge = lambda a, b, c, d, e: _weno5_edge(a, b, c, d, e, ctx)
+
         # face values at i-1/2 and i+1/2, biased by the wind direction
-        left_minus = _weno5_edge(um3, um2, um1, u0, up1, ctx)   # from the left at i-1/2
-        left_plus = _weno5_edge(um2, um1, u0, up1, up2, ctx)    # from the left at i+1/2
-        right_minus = _weno5_edge(up1, u0, um1, um2, um3, ctx)  # from the right at i-1/2
-        right_plus = _weno5_edge(up2, up1, u0, um1, um2, ctx)   # from the right at i+1/2
+        left_minus = edge(um3, um2, um1, u0, up1)   # from the left at i-1/2
+        left_plus = edge(um2, um1, u0, up1, up2)    # from the left at i+1/2
+        right_minus = edge(up1, u0, um1, um2, um3)  # from the right at i-1/2
+        right_plus = edge(up2, up1, u0, um1, um2)   # from the right at i+1/2
 
         upwind = ctx.asplain(vel) > 0.0
         f_minus = ctx.where(upwind, left_minus, right_minus)

@@ -1,0 +1,56 @@
+"""repro.kernels — the kernel-plane layer between policies and solvers.
+
+Solver kernels (:mod:`repro.hydro`, :mod:`repro.incomp`) express their
+arithmetic against the :class:`~repro.core.opmode.FPContext` interface;
+*this* package decides which execution plane a given context actually runs
+on:
+
+* the **instrumented plane** — the op-by-op contexts of
+  :mod:`repro.core.opmode` / :mod:`repro.core.memmode` (counters,
+  truncation, shadow tracking; unchanged semantics), and
+* the **fused binary64 fast plane** — :class:`FastPlaneContext` plus the
+  pre-fused stencils of :mod:`repro.kernels.fused`, which execute
+  non-truncating, non-instrumenting contexts as plain vectorized numpy
+  with zero per-op bookkeeping, bit-identical to the instrumented plane.
+
+Plane selection (:func:`select_context`) is applied centrally by
+:class:`~repro.core.selective.TruncationPolicy`, so every workload honours
+``plane="instrumented" | "fast" | "auto"`` without solver changes; the
+experiment engine threads the choice through ``SweepSpec`` /
+``AdaptiveSpec`` and routes reference tasks to the fast plane by default
+(:func:`reference_plane`).
+
+For convenience this package re-exports the context interface the solvers
+consume, so kernel code depends on ``repro.kernels`` alone.
+"""
+from ..core.memmode import ShadowContext
+from ..core.opmode import FPContext, FullPrecisionContext, TruncatedContext, make_context
+from . import fused
+from .dispatch import (
+    DEFAULT_PLANE,
+    PLANES,
+    is_fast_eligible,
+    reference_plane,
+    select_context,
+    validate_plane,
+)
+from .fast import FastPlaneContext
+
+__all__ = [
+    # the context interface solver kernels consume
+    "FPContext",
+    "FullPrecisionContext",
+    "TruncatedContext",
+    "ShadowContext",
+    "make_context",
+    # the fast plane
+    "FastPlaneContext",
+    "fused",
+    # plane selection
+    "PLANES",
+    "DEFAULT_PLANE",
+    "validate_plane",
+    "is_fast_eligible",
+    "select_context",
+    "reference_plane",
+]

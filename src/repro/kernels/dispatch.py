@@ -1,0 +1,92 @@
+"""Kernel-plane selection: which execution plane a context runs on.
+
+The kernel plane decides *how* a numerics context executes, never *what* it
+computes:
+
+* ``"instrumented"`` — every context stays on the classic op-by-op plane
+  (:mod:`repro.core.opmode` / :mod:`repro.core.memmode`): per-op counter
+  updates, truncation, error tracking, shadow values.  Bit-for-bit the
+  pre-kernel-plane behaviour, counters included.
+* ``"fast"`` — non-truncating, non-shadow contexts are replaced by the
+  fused binary64 :class:`~repro.kernels.fast.FastPlaneContext`.  States are
+  bit-identical (the fast plane evaluates the same ufuncs in the same
+  order); the trade is that those contexts no longer feed the op/mem
+  counters.  Truncating and shadow contexts are the measurement itself and
+  always remain instrumented.
+* ``"auto"`` (default) — fast only where it is a pure win: contexts that
+  would record nothing anyway (``count_ops`` and ``track_memory`` both
+  off).  Counting contexts stay instrumented, so reported counters are
+  byte-identical to the instrumented plane.
+
+Reference runs are the special case: the experiment engine never consumes
+their counters (point metrics come exclusively from the point runs, and
+references are compared by state), so it resolves ``"auto"`` to ``"fast"``
+for reference tasks (:func:`reference_plane`) — the cold-sweep hot path
+runs fused by default, and a fast-plane reference simply carries zeroed
+counters in its snapshot.
+"""
+from __future__ import annotations
+
+from ..core.opmode import FPContext, FullPrecisionContext
+from .fast import FastPlaneContext
+
+__all__ = [
+    "PLANES",
+    "DEFAULT_PLANE",
+    "validate_plane",
+    "is_fast_eligible",
+    "select_context",
+    "reference_plane",
+]
+
+#: the kernel planes a policy / spec may request
+PLANES = ("instrumented", "fast", "auto")
+
+#: plane used when nothing is requested explicitly
+DEFAULT_PLANE = "auto"
+
+
+def validate_plane(plane: str) -> str:
+    """Check a plane name and return it (fail fast at spec-validation time)."""
+    if plane not in PLANES:
+        raise ValueError(f"unknown kernel plane {plane!r}; choose from {PLANES}")
+    return plane
+
+
+def is_fast_eligible(ctx: FPContext) -> bool:
+    """Whether the fast plane preserves ``ctx``'s semantics bit for bit.
+
+    True exactly for plain binary64 contexts: a (subclass of)
+    :class:`FullPrecisionContext` that does not truncate.  Truncated and
+    shadow contexts perform the measurement and are never substituted.
+    """
+    return isinstance(ctx, FullPrecisionContext) and not ctx.truncating
+
+
+def select_context(ctx: FPContext, plane: str = DEFAULT_PLANE) -> FPContext:
+    """The context that should actually execute, given the requested plane.
+
+    Returns ``ctx`` itself whenever substitution would change semantics
+    (truncating / shadow contexts, the ``"instrumented"`` plane) or record
+    different counters under ``"auto"``.
+    """
+    validate_plane(plane)
+    if plane == "instrumented" or isinstance(ctx, FastPlaneContext):
+        return ctx
+    if not is_fast_eligible(ctx):
+        return ctx
+    if plane == "auto" and (ctx.count_ops or ctx.track_memory):
+        return ctx
+    return FastPlaneContext(runtime=ctx.runtime, module=ctx.module)
+
+
+def reference_plane(plane: str) -> str:
+    """The plane a full-precision *reference* run executes on.
+
+    The engine never consumes reference counters — references are compared
+    by state — so ``"auto"`` resolves to ``"fast"``; only an explicit
+    ``"instrumented"`` request keeps the counting reference path (needed
+    when the reference's own op counts are the object of study).
+    """
+    validate_plane(plane)
+    return "instrumented" if plane == "instrumented" else "fast"

@@ -1,0 +1,109 @@
+"""Pre-fused numpy kernels for the fast plane.
+
+These are the hot reconstruction stencils of :mod:`repro.hydro.reconstruction`
+(and the WENO5 advection operators of :mod:`repro.incomp.solver`) written as
+straight-line numpy, with no context dispatch at all.  They exist purely for
+speed: each function evaluates **exactly the same ufuncs in the same order**
+as its context-based twin, so on binary64 data the results are bit-identical
+— the property the kernel-plane equivalence tests pin down.
+
+Consumers select them via the :attr:`~repro.kernels.fast.FastPlaneContext.fused`
+flag on the active context; instrumented contexts keep the op-by-op path
+(they must, since every operation feeds the counters / truncation).
+"""
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["FUSED_SCHEMES", "pcm", "plm", "weno5", "weno5_edge"]
+
+#: matches ``repro.hydro.reconstruction._WENO_EPS``
+_WENO_EPS = 1e-6
+
+
+def _shift(u: np.ndarray, axis: int, offset: int, ng: int, n: int) -> np.ndarray:
+    """Cells ``i + offset`` for the face range (same indexing as the
+    context-based reconstruction)."""
+    start = ng - 1 + offset
+    stop = start + n + 1
+    if axis == 0:
+        return u[start:stop, :]
+    return u[:, start:stop]
+
+
+def pcm(u: np.ndarray, axis: int, ng: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Piecewise-constant reconstruction (pure data movement)."""
+    return _shift(u, axis, 0, ng, n), _shift(u, axis, 1, ng, n)
+
+
+def _minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    same_sign = (a * b) > 0.0
+    mag = np.where(np.abs(a) < np.abs(b), a, b)
+    return np.where(same_sign, mag, np.zeros(mag.shape))
+
+
+def plm(u: np.ndarray, axis: int, ng: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Piecewise-linear (minmod-limited) reconstruction, fused."""
+    um1 = _shift(u, axis, -1, ng, n)
+    uc = _shift(u, axis, 0, ng, n)
+    up1 = _shift(u, axis, 1, ng, n)
+    up2 = _shift(u, axis, 2, ng, n)
+
+    slope_left = _minmod(uc - um1, up1 - uc)
+    slope_right = _minmod(up1 - uc, up2 - up1)
+
+    left = uc + 0.5 * slope_left
+    right = up1 - 0.5 * slope_right
+    return left, right
+
+
+def weno5_edge(um2, um1, u0, up1, up2) -> np.ndarray:
+    """Jiang–Shu WENO5 right-edge value of cell 0, fused.
+
+    The association of every sum/product mirrors
+    ``repro.hydro.reconstruction._weno5_edge`` term for term — do not
+    "simplify" the algebra here, the parenthesisation is the contract.
+    """
+    q0 = (1.0 / 6.0) * ((2.0 * um2 - 7.0 * um1) + 11.0 * u0)
+    q1 = (1.0 / 6.0) * ((5.0 * u0 - um1) + 2.0 * up1)
+    q2 = (1.0 / 6.0) * ((2.0 * u0 + 5.0 * up1) - up2)
+
+    d1_0 = (um2 - 2.0 * um1) + u0
+    d2_0 = (um2 - 4.0 * um1) + 3.0 * u0
+    beta0 = (13.0 / 12.0) * (d1_0 * d1_0) + 0.25 * (d2_0 * d2_0)
+
+    d1_1 = (um1 - 2.0 * u0) + up1
+    d2_1 = um1 - up1
+    beta1 = (13.0 / 12.0) * (d1_1 * d1_1) + 0.25 * (d2_1 * d2_1)
+
+    d1_2 = (u0 - 2.0 * up1) + up2
+    d2_2 = (3.0 * u0 - 4.0 * up1) + up2
+    beta2 = (13.0 / 12.0) * (d1_2 * d1_2) + 0.25 * (d2_2 * d2_2)
+
+    w0 = 0.1 / np.square(_WENO_EPS + beta0)
+    w1 = 0.6 / np.square(_WENO_EPS + beta1)
+    w2 = 0.3 / np.square(_WENO_EPS + beta2)
+
+    wsum = (w0 + w1) + w2
+    num = (w0 * q0 + w1 * q1) + w2 * q2
+    return num / wsum
+
+
+def weno5(u: np.ndarray, axis: int, ng: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Fifth-order WENO reconstruction at the interior faces, fused."""
+    um2 = _shift(u, axis, -2, ng, n)
+    um1 = _shift(u, axis, -1, ng, n)
+    uc = _shift(u, axis, 0, ng, n)
+    up1 = _shift(u, axis, 1, ng, n)
+    up2 = _shift(u, axis, 2, ng, n)
+    up3 = _shift(u, axis, 3, ng, n)
+
+    left = weno5_edge(um2, um1, uc, up1, up2)
+    right = weno5_edge(up3, up2, up1, uc, um1)
+    return left, right
+
+
+#: scheme name -> fused implementation (same keys as reconstruction.SCHEMES)
+FUSED_SCHEMES = {"pcm": pcm, "plm": plm, "weno5": weno5}

@@ -87,9 +87,9 @@ class BubbleWorkload(Scenario):
         self._spun_up_state = None
 
     # ------------------------------------------------------------------
-    def _fresh_solver(self) -> BubbleSolver:
+    def _fresh_solver(self, plane: str = "auto") -> BubbleSolver:
         cfg = self.config
-        solver = BubbleSolver(cfg.solver)
+        solver = BubbleSolver(cfg.solver, plane=plane)
         if self._spun_up_state is None:
             solver.run(t_end=cfg.spin_up_time, fixed_dt=cfg.fixed_dt)
             self._spun_up_state = {
@@ -161,7 +161,10 @@ class BubbleWorkload(Scenario):
                 # Figure 1 strategy; label the actual coverage so grouped
                 # outcomes don't merge genuinely different runs
                 strategy = f"{strategy}[{covered[0]}]"
-        return self._execute(adv_ctx, diff_ctx, mask_fn, rt, strategy, pol.describe())
+        return self._execute(
+            adv_ctx, diff_ctx, mask_fn, rt, strategy, pol.describe(),
+            plane=getattr(pol, "plane", "auto"),
+        )
 
     def run_strategy(
         self, strategy: str, man_bits: int, runtime: Optional[RaptorRuntime] = None
@@ -194,9 +197,10 @@ class BubbleWorkload(Scenario):
         rt: RaptorRuntime,
         strategy: str,
         policy_label: str,
+        plane: str = "auto",
     ) -> Outcome:
         cfg = self.config
-        solver = self._fresh_solver()
+        solver = self._fresh_solver(plane)
 
         snapshots: Dict[float, np.ndarray] = {}
         centroids: List[float] = []

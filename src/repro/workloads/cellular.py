@@ -28,6 +28,7 @@ from ..core.runtime import RaptorRuntime
 from ..core.selective import ModulePolicy, NoTruncationPolicy, TruncationPolicy
 from ..eos.newton import NewtonSolverConfig, invert_energy
 from ..eos.table import HelmholtzTable
+from ..kernels import select_context
 from .registry import register_workload
 from .scenario import Outcome, Scenario
 
@@ -173,7 +174,13 @@ class CellularWorkload(Scenario):
         rt = runtime if runtime is not None else RaptorRuntime(self.name)
         pol = policy if policy is not None else NoTruncationPolicy(runtime=rt)
         eos_ctx = pol.context_for(module="eos")
-        burn_ctx = FullPrecisionContext(runtime=rt, module="burn")
+        # burning always runs untruncated, counted on *this run's* runtime
+        # (the policy may have been built on another), but on the policy's
+        # kernel plane so fast-plane reference runs stay fused end to end
+        burn_ctx = select_context(
+            FullPrecisionContext(runtime=rt, module="burn"),
+            getattr(pol, "plane", "auto"),
+        )
 
         state = self._initial_state()
         dx = cfg.length / cfg.n_cells

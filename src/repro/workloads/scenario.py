@@ -148,9 +148,30 @@ class Scenario:
     def run(self, policy=None, runtime=None) -> Outcome:
         raise NotImplementedError
 
-    def reference(self, **kwargs) -> Outcome:
-        """Full-precision reference run (op counting enabled)."""
-        return self.run(policy=None, **kwargs)
+    def reference(self, plane: Optional[str] = None, **kwargs) -> Outcome:
+        """Full-precision reference run.
+
+        ``plane=None`` (or ``"instrumented"``) keeps the classic counting
+        reference (op counting enabled).  ``"fast"`` / ``"auto"`` execute on
+        the fused binary64 fast plane of :mod:`repro.kernels` — the final
+        state is bit-identical but the counters are not recorded, so the
+        detached/cached snapshot holds zeros.  The experiment engine
+        requests the fast plane by default (it compares references by
+        state and never reads their counters); callers that study the
+        reference's own op counts should keep the instrumented default.
+        """
+        if plane is None or plane == "instrumented":
+            return self.run(policy=None, **kwargs)
+        from ..core.selective import NoTruncationPolicy
+        from ..kernels import validate_plane
+
+        validate_plane(plane)
+        runtime = kwargs.pop("runtime", None)
+        rt = runtime if runtime is not None else RaptorRuntime(self.name or "reference")
+        policy = NoTruncationPolicy(
+            runtime=rt, count_ops=False, track_memory=False, plane="fast"
+        )
+        return self.run(policy=policy, runtime=rt, **kwargs)
 
     def error(self, outcome: Outcome, reference: Outcome) -> float:
         """Scalar error metric of ``outcome`` against ``reference``."""

@@ -1,0 +1,51 @@
+"""CI smoke check: the fused fast plane is bit-identical to the
+instrumented plane.
+
+Runs the golden Sod configuration (tests/test_golden.py) as a
+full-precision reference on both kernel planes and asserts every state
+variable matches **bitwise** — the contract that lets the experiment
+engine route reference tasks through the fast plane silently.
+
+    PYTHONPATH=src python tools/check_plane_equivalence.py
+"""
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+#: the golden Sod configuration of tests/test_golden.py
+GOLDEN_SOD = dict(
+    nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+    t_end=0.04, rk_stages=1, reconstruction="plm",
+)
+
+
+def main() -> int:
+    from repro.workloads import create_workload
+
+    instrumented = create_workload("sod", **GOLDEN_SOD).reference(plane="instrumented")
+    fast = create_workload("sod", **GOLDEN_SOD).reference(plane="fast")
+
+    failures = []
+    if instrumented.time != fast.time:
+        failures.append(f"final time differs: {instrumented.time} vs {fast.time}")
+    for name in sorted(instrumented.state):
+        a, b = instrumented.state[name], fast.state[name]
+        if not np.array_equal(a, b):
+            diverged = int(np.sum(a != b))
+            failures.append(f"variable {name!r}: {diverged}/{a.size} cells differ")
+
+    if failures:
+        print("FAIL: fast plane is not bit-identical to the instrumented plane")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+
+    variables = ", ".join(sorted(instrumented.state))
+    print(f"OK: golden Sod bitwise identical on both planes ({variables})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
