@@ -69,18 +69,28 @@ def run_experiment():
                 [f"M-{cutoff}", man_bits, f"{error:.3e}", f"{point.truncated_fraction:.1%}",
                  f"{gflops_trunc:.4f}", f"{gflops_full:.4f}"]
             )
-    return rows, series
+    # wall-clock of the sweep on the current kernel plane (the reference
+    # task rides the fused fast plane under the default "auto"), so the
+    # perf trajectory of this figure is tracked alongside its numbers
+    timing = {
+        "plane": spec.plane,
+        "elapsed_seconds": result.elapsed_seconds,
+        "total_point_seconds": result.total_point_seconds,
+    }
+    return rows, series, timing
 
 
 @pytest.mark.benchmark(group="figure7a")
 def test_fig7a_sedov_error_vs_mantissa(benchmark):
-    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows, series, timing = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     print_table(
         "Figure 7a — Sedov: L1 density error vs mantissa bits per AMR cutoff",
         ["cutoff", "mantissa", "L1(dens)", "trunc ops", "Gops trunc", "Gops full"],
         rows,
     )
-    save_results("fig7a_sedov", series)
+    save_results("fig7a_sedov", {"cutoffs": series, "timing": timing})
+
+    assert timing["elapsed_seconds"] > 0
 
     # shape assertions mirroring the paper's observations
     by_cutoff = {c: {r["man_bits"]: r for r in recs} for c, recs in series.items()}

@@ -202,6 +202,11 @@ def reconstruct(
         Numerics context (op-mode, mem-mode, or full precision).
     scheme:
         "pcm", "plm" or "weno5".
+
+    The fused branch serves direct callers holding a fast-plane context;
+    the hydro solver's own fast path never reaches it (``advance_block``
+    short-circuits into :func:`repro.kernels.flux.advance`, which invokes
+    the fused stencils with workspace-threaded scratch keys itself).
     """
     try:
         fn = SCHEMES[scheme]

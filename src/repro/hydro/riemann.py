@@ -6,6 +6,13 @@ Spark solver components exercised by the mem-mode debugging experiment
 (Table 2: the "Riemann" module), and its arithmetic therefore also goes
 through the numerics context.
 
+Three solvers are provided: ``hll`` (Davis wave-speed estimates), ``hlle``
+(the Einfeldt variant — Roe-averaged wave speeds on the same HLL
+combination) and ``hllc`` (restores the contact wave).  When the active
+context is on the fused binary64 fast plane (``ctx.fused``), each solver
+dispatches to its pre-fused straight-line twin in
+:mod:`repro.kernels.flux` — bit-identical results, zero per-op dispatch.
+
 States are passed as dictionaries of face arrays with keys ``dens``,
 ``velx``, ``vely``, ``pres`` where ``velx`` denotes the velocity normal to
 the face and ``vely`` the transverse velocity (the solver swaps components
@@ -17,9 +24,10 @@ from __future__ import annotations
 from typing import Dict
 
 from ..kernels import FPContext
+from ..kernels import flux as _fused_flux
 from .eos import GammaLawEOS
 
-__all__ = ["euler_flux", "hll_flux", "hllc_flux", "SOLVERS"]
+__all__ = ["euler_flux", "hll_flux", "hllc_flux", "hlle_flux", "SOLVERS"]
 
 
 def _conserved(state: Dict, eos: GammaLawEOS, ctx: FPContext) -> Dict:
@@ -58,9 +66,71 @@ def _wave_speeds(left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext):
     return sl, sr
 
 
-def hll_flux(left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext) -> Dict:
-    """Harten–Lax–van Leer flux."""
-    sl, sr = _wave_speeds(left, right, eos, ctx)
+def _einfeldt_wave_speeds(left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext):
+    """Einfeldt wave-speed estimates from Roe averages (the HLLE choice).
+
+    S_L = min(ul - cl, u_roe - c_roe), S_R = max(ur + cr, u_roe + c_roe)
+    with the Roe-averaged velocity and sound speed (Einfeldt's eta2 = 1/2
+    velocity-jump correction).
+    """
+    cl = eos.sound_speed(left["dens"], left["pres"], ctx)
+    cr = eos.sound_speed(right["dens"], right["pres"], ctx)
+    sql = ctx.sqrt(left["dens"], "riemann:sql")
+    sqr = ctx.sqrt(right["dens"], "riemann:sqr")
+    wsum = ctx.add(sql, sqr, "riemann:roe_wsum")
+    u_roe = ctx.div(
+        ctx.add(
+            ctx.mul(sql, left["velx"], "riemann:sql_ul"),
+            ctx.mul(sqr, right["velx"], "riemann:sqr_ur"),
+            "riemann:roe_num",
+        ),
+        wsum,
+        "riemann:u_roe",
+    )
+    cl2 = ctx.mul(cl, cl, "riemann:cl2")
+    cr2 = ctx.mul(cr, cr, "riemann:cr2")
+    c2_bar = ctx.div(
+        ctx.add(
+            ctx.mul(sql, cl2, "riemann:sql_cl2"),
+            ctx.mul(sqr, cr2, "riemann:sqr_cr2"),
+            "riemann:c2_num",
+        ),
+        wsum,
+        "riemann:c2_bar",
+    )
+    du = ctx.sub(right["velx"], left["velx"], "riemann:du_roe")
+    eta = ctx.mul(
+        ctx.const(0.5),
+        ctx.div(
+            ctx.mul(sql, sqr, "riemann:sqlr"),
+            ctx.mul(wsum, wsum, "riemann:wsum2"),
+            "riemann:eta_div",
+        ),
+        "riemann:eta",
+    )
+    c_roe = ctx.sqrt(
+        ctx.add(
+            c2_bar,
+            ctx.mul(eta, ctx.mul(du, du, "riemann:du2"), "riemann:eta_du2"),
+            "riemann:c_roe2",
+        ),
+        "riemann:c_roe",
+    )
+    sl = ctx.minimum(
+        ctx.sub(left["velx"], cl, "riemann:ul_m_cl"),
+        ctx.sub(u_roe, c_roe, "riemann:uroe_m_c"),
+        "riemann:sl",
+    )
+    sr = ctx.maximum(
+        ctx.add(right["velx"], cr, "riemann:ur_p_cr"),
+        ctx.add(u_roe, c_roe, "riemann:uroe_p_c"),
+        "riemann:sr",
+    )
+    return sl, sr
+
+
+def _hll_from_speeds(sl, sr, left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext) -> Dict:
+    """HLL flux combination for given wave-speed estimates."""
     ul = _conserved(left, eos, ctx)
     ur = _conserved(right, eos, ctx)
     fl = euler_flux(left, eos, ctx)
@@ -90,8 +160,26 @@ def hll_flux(left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext) -> Dict:
     return flux
 
 
+def hll_flux(left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext) -> Dict:
+    """Harten–Lax–van Leer flux (Davis wave speeds)."""
+    if getattr(ctx, "fused", False):
+        return _fused_flux.hll_flux(left, right, eos.gamma)
+    sl, sr = _wave_speeds(left, right, eos, ctx)
+    return _hll_from_speeds(sl, sr, left, right, eos, ctx)
+
+
+def hlle_flux(left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext) -> Dict:
+    """HLLE flux: the HLL combination with Einfeldt wave speeds."""
+    if getattr(ctx, "fused", False):
+        return _fused_flux.hlle_flux(left, right, eos.gamma)
+    sl, sr = _einfeldt_wave_speeds(left, right, eos, ctx)
+    return _hll_from_speeds(sl, sr, left, right, eos, ctx)
+
+
 def hllc_flux(left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext) -> Dict:
     """HLLC flux (restores the contact wave missing from HLL)."""
+    if getattr(ctx, "fused", False):
+        return _fused_flux.hllc_flux(left, right, eos.gamma)
     sl, sr = _wave_speeds(left, right, eos, ctx)
     ul = _conserved(left, eos, ctx)
     ur = _conserved(right, eos, ctx)
@@ -167,4 +255,4 @@ def hllc_flux(left: Dict, right: Dict, eos: GammaLawEOS, ctx: FPContext) -> Dict
     return flux
 
 
-SOLVERS = {"hll": hll_flux, "hllc": hllc_flux, "hlle": hll_flux}
+SOLVERS = {"hll": hll_flux, "hllc": hllc_flux, "hlle": hlle_flux}

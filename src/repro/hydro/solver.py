@@ -22,6 +22,8 @@ import numpy as np
 
 from ..amr.grid import AMRGrid
 from ..kernels import FPContext, FullPrecisionContext, ShadowContext
+from ..kernels import flux as fused_flux
+from ..kernels.scratch import Workspace, batching_enabled, make_workspace
 from .eos import GammaLawEOS
 from .reconstruction import reconstruct
 from .riemann import SOLVERS
@@ -63,6 +65,14 @@ class HydroSolver:
     module:
         Module label under which the solver requests its numerics contexts
         ("hydro" by convention; policies match on it).
+    scratch:
+        Use a preallocated :class:`~repro.kernels.scratch.Workspace` for the
+        fused fast-plane pipeline (bit-identical; ``None`` follows the
+        ``RAPTOR_FAST_NO_SCRATCH`` environment switch, default on).
+    batch_blocks:
+        On the fast plane, stack same-shaped blocks of one AMR level into a
+        single batched kernel invocation per substep (bit-identical;
+        ``None`` follows ``RAPTOR_FAST_NO_BATCH``, default on).
     """
 
     def __init__(
@@ -74,6 +84,8 @@ class HydroSolver:
         rk_stages: int = 2,
         gravity: Tuple[float, float] = (0.0, 0.0),
         module: str = "hydro",
+        scratch: Optional[bool] = None,
+        batch_blocks: Optional[bool] = None,
     ) -> None:
         if riemann not in SOLVERS:
             raise ValueError(f"unknown riemann solver {riemann!r}")
@@ -86,6 +98,11 @@ class HydroSolver:
         self.rk_stages = int(rk_stages)
         self.gravity = (float(gravity[0]), float(gravity[1]))
         self.module = module
+        self.batch_blocks = batching_enabled() if batch_blocks is None else bool(batch_blocks)
+        if scratch is None:
+            self._workspace: Optional[Workspace] = make_workspace()
+        else:
+            self._workspace = Workspace() if scratch else None
 
     # ------------------------------------------------------------------
     # time step (full-precision diagnostic, as in the paper's fixed-dt runs)
@@ -165,8 +182,16 @@ class HydroSolver:
         ``block.data`` must have its guard cells filled.  Returns the new
         interior primitive variables as plain binary64 arrays (the AMR grid
         stores plain arrays regardless of the instrumentation in use).
+
+        On the fused fast plane (``ctx.fused``) the whole update —
+        reconstruct → wave speeds → flux → conserved update — runs through
+        the pre-fused pipeline of :mod:`repro.kernels.flux` without a
+        single context dispatch, bit-identical to the op-by-op path.
         """
         ng, nxb, nyb = block.ng, block.nxb, block.nyb
+        if getattr(ctx, "fused", False):
+            prims = {name: block.data[name] for name in PRIMITIVE_VARS}
+            return self._advance_fused(prims, dt, block.dx, block.dy, ng, nxb, nyb)
         stages = self._stage_contexts(ctx)
         update_ctx = stages["update"]
 
@@ -238,22 +263,83 @@ class HydroSolver:
             "pres": update_ctx.asplain(new_pres),
         }
 
+    def _advance_fused(self, prims: Dict, dt: float, dx: float, dy: float,
+                       ng: int, nxb: int, nyb: int) -> Dict[str, np.ndarray]:
+        """The fully fused block (or block-stack) update of the fast plane."""
+        return fused_flux.advance(
+            prims, dt, dx, dy, ng, nxb, nyb,
+            scheme=self.reconstruction,
+            solver=self.riemann,
+            gamma=self.eos.gamma,
+            dens_floor=self.eos.density_floor,
+            pres_floor=self.eos.pressure_floor,
+            gravity=self.gravity,
+            ws=self._workspace,
+        )
+
     # ------------------------------------------------------------------
     # grid-level stepping
     # ------------------------------------------------------------------
     def _substep(self, grid: AMRGrid, dt: float, provider: ContextProvider) -> None:
-        """One forward-Euler substep over all leaves (guard cells refilled)."""
+        """One forward-Euler substep over all leaves (guard cells refilled).
+
+        Blocks whose context rides the fused fast plane are stacked per AMR
+        level into one ``(nblocks, nx, ny)`` batched kernel invocation
+        (element-wise ufuncs are independent per slot, so the batched
+        update is bit-identical to the per-block loop); everything else —
+        truncating, shadow and counting contexts — takes the per-block
+        op-by-op path.
+        """
         max_level = grid.finest_level
+        keys = grid.sorted_keys()
+        contexts = {key: provider(self.module, key[0], max_level) for key in keys}
+        if self._workspace is not None:
+            # quiescent point: no scratch value is live between substeps, so
+            # a regrid-heavy run cannot accumulate buffer families unboundedly
+            self._workspace.trim()
+
+        batched: Dict[int, list] = {}
+        if self.batch_blocks:
+            for key in keys:
+                if getattr(contexts[key], "fused", False):
+                    batched.setdefault(key[0], []).append(key)
+            # a single block gains nothing from stacking
+            batched = {level: group for level, group in batched.items() if len(group) > 1}
+
         updates: Dict = {}
-        for key in grid.sorted_keys():
-            block = grid.leaves[key]
-            ctx = provider(self.module, block.level, max_level)
-            updates[key] = self.advance_block(block, dt, ctx)
+        for level in sorted(batched):
+            updates.update(self._advance_level_batched(grid, batched[level], dt))
+        in_batch = {key for group in batched.values() for key in group}
+        for key in keys:
+            if key in in_batch:
+                continue
+            updates[key] = self.advance_block(grid.leaves[key], dt, contexts[key])
+
         for key, prims in updates.items():
             block = grid.leaves[key]
             for name, values in prims.items():
                 block.set_interior(name, values)
         grid.fill_guard_cells(list(PRIMITIVE_VARS))
+
+    def _advance_level_batched(self, grid: AMRGrid, group, dt: float) -> Dict:
+        """Advance same-level fused blocks as one stacked kernel invocation."""
+        blocks = [grid.leaves[key] for key in group]
+        first = blocks[0]
+        shape = (len(blocks), *first.shape_with_guards)
+        ws = self._workspace
+        prims: Dict[str, np.ndarray] = {}
+        for name in PRIMITIVE_VARS:
+            stack = ws.out(("stack", name), shape) if ws is not None else np.empty(shape)
+            for i, block in enumerate(blocks):
+                stack[i] = block.data[name]
+            prims[name] = stack
+        new = self._advance_fused(
+            prims, dt, first.dx, first.dy, first.ng, first.nxb, first.nyb
+        )
+        return {
+            key: {name: new[name][i] for name in PRIMITIVE_VARS}
+            for i, key in enumerate(group)
+        }
 
     def _conserved_interior(self, block) -> Dict[str, np.ndarray]:
         dens = block.interior_view("dens").copy()

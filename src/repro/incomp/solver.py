@@ -28,6 +28,7 @@ import numpy as np
 from ..hydro.reconstruction import _weno5_edge
 from ..kernels import FPContext, FullPrecisionContext, select_context
 from ..kernels.fused import weno5_edge as _fused_weno5_edge
+from ..kernels.scratch import make_workspace
 from .levelset import LevelSet, circle_level_set
 from .poisson import PoissonSolver
 
@@ -111,6 +112,9 @@ class BubbleSolver:
         self._full_ctx = select_context(
             FullPrecisionContext(count_ops=False, track_memory=False), plane
         )
+        # preallocated scratch for the fused WENO5 edge evaluations
+        # (bit-identical; dropped on pickle/deepcopy)
+        self._workspace = make_workspace()
 
     # ------------------------------------------------------------------
     # differential operators (these are the truncation targets)
@@ -131,15 +135,20 @@ class BubbleSolver:
         u0, up1, up2, up3 = cells(0), cells(1), cells(2), cells(3)
 
         if getattr(ctx, "fused", False):
-            edge = _fused_weno5_edge
+            # each call site gets its own scratch key: all four edge values
+            # stay live until the upwind selection below
+            ws = self._workspace
+            edge = lambda a, b, c, d, e, k: _fused_weno5_edge(
+                a, b, c, d, e, ws=ws, key=("adv", axis, k)
+            )
         else:
-            edge = lambda a, b, c, d, e: _weno5_edge(a, b, c, d, e, ctx)
+            edge = lambda a, b, c, d, e, k: _weno5_edge(a, b, c, d, e, ctx)
 
         # face values at i-1/2 and i+1/2, biased by the wind direction
-        left_minus = edge(um3, um2, um1, u0, up1)   # from the left at i-1/2
-        left_plus = edge(um2, um1, u0, up1, up2)    # from the left at i+1/2
-        right_minus = edge(up1, u0, um1, um2, um3)  # from the right at i-1/2
-        right_plus = edge(up2, up1, u0, um1, um2)   # from the right at i+1/2
+        left_minus = edge(um3, um2, um1, u0, up1, "lm")   # from the left at i-1/2
+        left_plus = edge(um2, um1, u0, up1, up2, "lp")    # from the left at i+1/2
+        right_minus = edge(up1, u0, um1, um2, um3, "rm")  # from the right at i-1/2
+        right_plus = edge(up2, up1, u0, um1, um2, "rp")   # from the right at i+1/2
 
         upwind = ctx.asplain(vel) > 0.0
         f_minus = ctx.where(upwind, left_minus, right_minus)

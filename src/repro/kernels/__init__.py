@@ -9,9 +9,13 @@ on:
   :mod:`repro.core.opmode` / :mod:`repro.core.memmode` (counters,
   truncation, shadow tracking; unchanged semantics), and
 * the **fused binary64 fast plane** — :class:`FastPlaneContext` plus the
-  pre-fused stencils of :mod:`repro.kernels.fused`, which execute
-  non-truncating, non-instrumenting contexts as plain vectorized numpy
-  with zero per-op bookkeeping, bit-identical to the instrumented plane.
+  pre-fused stencils of :mod:`repro.kernels.fused` and the full fused
+  flux pipeline of :mod:`repro.kernels.flux` (EOS helpers, wave speeds,
+  HLL/HLLC/HLLE Riemann solvers, whole-block updates), threaded through
+  the preallocated scratch workspaces of :mod:`repro.kernels.scratch` —
+  non-truncating, non-instrumenting contexts run as plain vectorized
+  numpy with zero per-op bookkeeping and (steady-state) zero temporary
+  allocation, bit-identical to the instrumented plane.
 
 Plane selection (:func:`select_context`) is applied centrally by
 :class:`~repro.core.selective.TruncationPolicy`, so every workload honours
@@ -25,7 +29,7 @@ consume, so kernel code depends on ``repro.kernels`` alone.
 """
 from ..core.memmode import ShadowContext
 from ..core.opmode import FPContext, FullPrecisionContext, TruncatedContext, make_context
-from . import fused
+from . import flux, fused, scratch
 from .dispatch import (
     DEFAULT_PLANE,
     PLANES,
@@ -35,6 +39,7 @@ from .dispatch import (
     validate_plane,
 )
 from .fast import FastPlaneContext
+from .scratch import Workspace, batching_enabled, make_workspace, scratch_enabled
 
 __all__ = [
     # the context interface solver kernels consume
@@ -46,6 +51,13 @@ __all__ = [
     # the fast plane
     "FastPlaneContext",
     "fused",
+    "flux",
+    # scratch workspaces
+    "scratch",
+    "Workspace",
+    "make_workspace",
+    "scratch_enabled",
+    "batching_enabled",
     # plane selection
     "PLANES",
     "DEFAULT_PLANE",

@@ -8,11 +8,13 @@ computes:
   updates, truncation, error tracking, shadow values.  Bit-for-bit the
   pre-kernel-plane behaviour, counters included.
 * ``"fast"`` — non-truncating, non-shadow contexts are replaced by the
-  fused binary64 :class:`~repro.kernels.fast.FastPlaneContext`.  States are
-  bit-identical (the fast plane evaluates the same ufuncs in the same
-  order); the trade is that those contexts no longer feed the op/mem
-  counters.  Truncating and shadow contexts are the measurement itself and
-  always remain instrumented.
+  fused binary64 :class:`~repro.kernels.fast.FastPlaneContext`, and the
+  solvers route their hot paths through the pre-fused kernels of
+  :mod:`repro.kernels.fused` / :mod:`repro.kernels.flux` (scratch-buffered
+  and block-batched).  States are bit-identical (the fast plane evaluates
+  the same ufunc expression trees); the trade is that those contexts no
+  longer feed the op/mem counters.  Truncating and shadow contexts are the
+  measurement itself and always remain instrumented.
 * ``"auto"`` (default) — fast only where it is a pure win: contexts that
   would record nothing anyway (``count_ops`` and ``track_memory`` both
   off).  Counting contexts stay instrumented, so reported counters are

@@ -6,7 +6,11 @@ no operand re-quantisation, no per-op counter updates, no runtime locks, no
 label/location bookkeeping.  Each arithmetic method is a direct ufunc call,
 so the only remaining per-op cost is the method dispatch itself; kernels
 that want to shed even that check the :attr:`FastPlaneContext.fused` flag
-and call the pre-fused numpy kernels in :mod:`repro.kernels.fused`.
+and call the pre-fused numpy kernels in :mod:`repro.kernels.fused` — or,
+for the whole compressible flux stack (EOS, wave speeds, Riemann solvers,
+block updates), the fused pipeline of :mod:`repro.kernels.flux`, which
+additionally threads preallocated scratch buffers
+(:mod:`repro.kernels.scratch`) and batches same-shaped AMR blocks.
 
 The contract — and the reason the plane may be substituted silently for a
 non-truncating instrumented context — is **bitwise identity**: for binary64

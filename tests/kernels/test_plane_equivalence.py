@@ -5,6 +5,12 @@ contexts it is **bit-identical** to the instrumented plane — golden-config
 runs match bitwise, and all seven registered workloads produce identical
 ``Outcome`` states through ``run_sweep`` on either plane, on both the
 serial and the process backend.
+
+Since the fused-flux PR, ``plane="fast"`` runs the compressible workloads
+through the full fused pipeline (Riemann/EOS fusion + scratch workspaces +
+batched block stepping) by default, so every sweep below also covers the
+scratch/batched path; ``test_scratch_and_batching_are_active`` pins that
+the defaults were indeed in effect.
 """
 import numpy as np
 import pytest
@@ -58,6 +64,17 @@ class TestAllWorkloadsThroughRunSweep:
 
     def test_registry_is_fully_covered(self):
         assert set(available_workloads()) == set(ALL_WORKLOADS)
+
+    def test_scratch_and_batching_are_active(self):
+        """The fast-plane sweeps in this module must exercise the fused
+        flux pipeline with scratch buffers and batched block stepping —
+        the defaults, unless the environment disabled them."""
+        from repro.hydro.solver import HydroSolver
+        from repro.kernels.scratch import batching_enabled, scratch_enabled
+
+        assert scratch_enabled() and batching_enabled()
+        solver = HydroSolver()
+        assert solver._workspace is not None and solver.batch_blocks
 
     @pytest.fixture(scope="class")
     def results(self):

@@ -4,7 +4,11 @@ instrumented plane.
 Runs the golden Sod configuration (tests/test_golden.py) as a
 full-precision reference on both kernel planes and asserts every state
 variable matches **bitwise** — the contract that lets the experiment
-engine route reference tasks through the fast plane silently.
+engine route reference tasks through the fast plane silently.  A second
+pass runs the golden Sedov configuration (WENO5 + HLLC) through the fast
+plane's full fused-flux pipeline — Riemann/EOS fusion, preallocated
+scratch workspaces and batched block stepping, which this script insists
+are enabled — and diffs it against the instrumented plane the same way.
 
     PYTHONPATH=src python tools/check_plane_equivalence.py
 """
@@ -14,27 +18,49 @@ import sys
 
 import numpy as np
 
-#: the golden Sod configuration of tests/test_golden.py
-GOLDEN_SOD = dict(
-    nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
-    t_end=0.04, rk_stages=1, reconstruction="plm",
-)
+#: the golden configurations of tests/test_golden.py
+GOLDEN_CONFIGS = {
+    "sod": dict(
+        nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+        t_end=0.04, rk_stages=1, reconstruction="plm",
+    ),
+    "sedov": dict(
+        nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=2,
+        t_end=0.02, rk_stages=1, reconstruction="weno5",
+    ),
+}
 
 
-def main() -> int:
+def _diff_planes(name: str, config: dict) -> list:
     from repro.workloads import create_workload
 
-    instrumented = create_workload("sod", **GOLDEN_SOD).reference(plane="instrumented")
-    fast = create_workload("sod", **GOLDEN_SOD).reference(plane="fast")
+    instrumented = create_workload(name, **config).reference(plane="instrumented")
+    fast = create_workload(name, **config).reference(plane="fast")
 
     failures = []
     if instrumented.time != fast.time:
-        failures.append(f"final time differs: {instrumented.time} vs {fast.time}")
-    for name in sorted(instrumented.state):
-        a, b = instrumented.state[name], fast.state[name]
+        failures.append(f"{name}: final time differs: {instrumented.time} vs {fast.time}")
+    for var in sorted(instrumented.state):
+        a, b = instrumented.state[var], fast.state[var]
         if not np.array_equal(a, b):
             diverged = int(np.sum(a != b))
-            failures.append(f"variable {name!r}: {diverged}/{a.size} cells differ")
+            failures.append(f"{name}: variable {var!r}: {diverged}/{a.size} cells differ")
+    return failures
+
+
+def main() -> int:
+    from repro.kernels.scratch import batching_enabled, scratch_enabled
+
+    if not (scratch_enabled() and batching_enabled()):
+        print(
+            "FAIL: RAPTOR_FAST_NO_SCRATCH / RAPTOR_FAST_NO_BATCH are set — "
+            "this check must exercise the scratch + batched fast plane"
+        )
+        return 1
+
+    failures = []
+    for name, config in GOLDEN_CONFIGS.items():
+        failures.extend(_diff_planes(name, config))
 
     if failures:
         print("FAIL: fast plane is not bit-identical to the instrumented plane")
@@ -42,8 +68,10 @@ def main() -> int:
             print(f"  - {line}")
         return 1
 
-    variables = ", ".join(sorted(instrumented.state))
-    print(f"OK: golden Sod bitwise identical on both planes ({variables})")
+    print(
+        "OK: golden Sod (PLM) and Sedov (WENO5, fused flux + scratch + "
+        "batched) bitwise identical on both planes"
+    )
     return 0
 
 
