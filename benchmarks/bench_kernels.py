@@ -18,6 +18,13 @@ fast plane's contract — and records the comparison to
 PR-over-PR (the previously recorded fast-plane seconds are carried along as
 ``previous_fast_seconds``).
 
+A second pass times *truncated* (e8m10, non-counting) runs of the
+compressible workloads on the instrumented plane vs the fused truncating
+plane (``repro.kernels.trunc``, reached via ``plane="auto"``) — the sweep
+engine's actual point hot path when ``count_point_ops=False`` — again
+insisting the states agree bitwise, and records the truncated speedup the
+same way.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py            # full set
@@ -76,6 +83,9 @@ VARIANTS = (
     ("fast", "fast", {}),
 )
 
+#: workloads whose hydro hot path has fused truncating twins
+TRUNC_WORKLOADS = ("sod", "sedov", "kelvin-helmholtz")
+
 
 @contextlib.contextmanager
 def _env(overrides):
@@ -104,6 +114,31 @@ def _time_reference(workload_factory, plane: str, env_overrides, repeat: int):
             start = time.perf_counter()
             outcome = workload.reference(plane=plane)
             best = min(best, time.perf_counter() - start)
+    return best, outcome
+
+
+def _time_truncated(workload_factory, plane: str, repeat: int):
+    """Best-of-``repeat`` wall-clock of a non-counting e8m10 truncated run.
+
+    ``plane="instrumented"`` runs the optimized op-by-op ``TruncatedContext``
+    path; ``plane="auto"`` routes the (non-counting) contexts onto the fused
+    truncating plane.
+    """
+    from repro.core import FPFormat, GlobalPolicy, RaptorRuntime, TruncationConfig
+
+    fmt = FPFormat(exp_bits=8, man_bits=10)
+    best = np.inf
+    outcome = None
+    for _ in range(repeat):
+        workload = workload_factory()
+        runtime = RaptorRuntime()
+        policy = GlobalPolicy(
+            TruncationConfig(targets={64: fmt}, count_ops=False, track_memory=False),
+            runtime=runtime, plane=plane,
+        )
+        start = time.perf_counter()
+        outcome = workload.run(policy=policy, runtime=runtime)
+        best = min(best, time.perf_counter() - start)
     return best, outcome
 
 
@@ -143,7 +178,7 @@ def run_benchmark(quick: bool, repeat: int):
                         "bit-identity contract is broken"
                     )
 
-        records.append({
+        record = {
             "workload": name,
             "config": config,
             "repeat": repeat,
@@ -155,7 +190,26 @@ def run_benchmark(quick: bool, repeat: int):
             "speedup": seconds["instrumented"] / seconds["fast"]
             if seconds["fast"] > 0 else float("inf"),
             "bitwise_identical": True,
-        })
+        }
+
+        if name in TRUNC_WORKLOADS:
+            slow_secs, slow_out = _time_truncated(factory, "instrumented", repeat)
+            fast_secs, fast_out = _time_truncated(factory, "auto", repeat)
+            for key in slow_out.state:
+                if not np.array_equal(slow_out.state[key], fast_out.state[key]):
+                    raise SystemExit(
+                        f"PLANE MISMATCH: truncated {name} variable {key!r} differs "
+                        "between the instrumented plane and the fused truncating "
+                        "plane — the truncating plane's bit-identity contract is "
+                        "broken"
+                    )
+            record.update({
+                "trunc_instrumented_seconds": slow_secs,
+                "trunc_fast_seconds": fast_secs,
+                "trunc_speedup": slow_secs / fast_secs if fast_secs > 0 else float("inf"),
+            })
+
+        records.append(record)
     return {"mode": flavour, "workloads": records}
 
 
@@ -193,6 +247,24 @@ def main(argv=None) -> int:
         rows,
     ))
 
+    trunc_rows = [
+        [
+            r["workload"],
+            f"{r['trunc_instrumented_seconds']:.3f}",
+            f"{r['trunc_fast_seconds']:.3f}",
+            f"{r['trunc_speedup']:.2f}x",
+            "yes",
+        ]
+        for r in payload["workloads"]
+        if "trunc_speedup" in r
+    ]
+    print(f"\n=== kernel planes: truncated (e8m10) runs, {payload['mode']} mode ===")
+    print(format_table(
+        ["workload", "instrumented [s]", "trunc-fast [s]", "speedup",
+         "bitwise identical"],
+        trunc_rows,
+    ))
+
     if args.quick and args.out is None:
         # sanity mode: identity + a plausible timing was enough, don't
         # overwrite the tracked record with throwaway numbers
@@ -209,6 +281,16 @@ def main(argv=None) -> int:
         print(
             "WARNING: fewer than two workloads reached the 6x reference "
             "speedup the fused flux pipeline targets", file=sys.stderr,
+        )
+        return 1
+    trunc_slow = [r for r in payload["workloads"]
+                  if "trunc_speedup" in r and r["trunc_speedup"] < 3.0]
+    if payload["mode"] == "full" and trunc_slow:
+        print(
+            "WARNING: truncated runs below the 3x speedup floor of the fused "
+            "truncating plane: "
+            + ", ".join(f"{r['workload']} ({r['trunc_speedup']:.2f}x)" for r in trunc_slow),
+            file=sys.stderr,
         )
         return 1
     return 0

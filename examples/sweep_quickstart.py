@@ -25,6 +25,10 @@ Useful variations::
     # --plane instrumented restores the fully counted classic behaviour
     python examples/sweep_quickstart.py --workloads kh --plane fast
 
+    # drop the per-point operation counters: truncated points then run on
+    # the fused truncating plane (bit-identical states, several times faster)
+    python examples/sweep_quickstart.py --no-count-ops
+
     # the cellular detonation through the same engine (module-selective
     # truncation of the EOS, per-workload config overrides)
     python examples/sweep_quickstart.py --workloads cellular \
@@ -145,6 +149,14 @@ def parse_args() -> argparse.Namespace:
         "the sweep points' full-precision contexts fused (bit-identical "
         "states, those counters dropped); instrumented disables the fast "
         "plane everywhere",
+    )
+    parser.add_argument(
+        "--no-count-ops",
+        action="store_true",
+        help="build the sweep points' (and adaptive probes') truncating "
+        "policies without operation counters; dispatch then routes them "
+        "onto the fused truncating plane — states stay bit-identical, "
+        "the op/byte roll-up reads zero, points run several times faster",
     )
     parser.add_argument("--backend", default="serial", choices=["serial", "process"])
     parser.add_argument("--max-workers", type=int, default=None)
@@ -353,6 +365,7 @@ def main() -> None:
             max_man_bits=args.max_bits,
             exp_bits=args.exp_bits,
             threshold=args.threshold,
+            count_probe_ops=not args.no_count_ops,
             workload_configs=workload_configs,
             plane=args.plane,
             backend=args.backend,
@@ -374,6 +387,7 @@ def main() -> None:
             policies=[build_policy()],
             workload_configs=workload_configs,
             variables=variables,
+            count_point_ops=not args.no_count_ops,
             plane=args.plane,
             backend=args.backend,
             max_workers=args.max_workers,

@@ -65,6 +65,9 @@ class FPContext:
     #: True when kernels may substitute the pre-fused numpy stencils of
     #: :mod:`repro.kernels.fused` for the op-by-op context path
     fused: bool = False
+    #: True when kernels may substitute the fused *truncating* twins of
+    #: :mod:`repro.kernels.trunc` (quantize-at-op-boundary, no counters)
+    fused_trunc: bool = False
 
     # -- to be provided by subclasses ---------------------------------------
     def _apply(self, ufunc, inputs: Sequence[ArrayLike], label: str):

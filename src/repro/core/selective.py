@@ -43,13 +43,16 @@ class TruncationPolicy:
     Subclasses implement :meth:`should_truncate`; the base class handles
     context construction and caching so repeated queries are cheap.
 
-    ``plane`` selects the kernel plane of the *non-truncating* contexts the
-    policy hands out (see :mod:`repro.kernels`): ``"auto"`` (default)
-    substitutes the fused binary64 fast plane only where nothing would be
-    recorded anyway, ``"fast"`` substitutes it for every full-precision
-    context (states bit-identical, counters for those contexts dropped),
-    ``"instrumented"`` never substitutes.  Truncating and shadow contexts
-    always stay instrumented — they are the measurement.
+    ``plane`` selects the kernel plane of the contexts the policy hands
+    out (see :mod:`repro.kernels`): ``"auto"`` (default) substitutes the
+    fused planes only where nothing would be recorded anyway — binary64
+    contexts onto the binary64 fast plane, *non-counting* truncating
+    op-mode contexts onto the fused truncating plane — ``"fast"``
+    additionally substitutes every full-precision context (states
+    bit-identical, counters for those contexts dropped, with a warning),
+    ``"instrumented"`` never substitutes.  Counting truncating contexts
+    and shadow contexts always stay instrumented — they are the
+    measurement.
     """
 
     def __init__(
@@ -110,9 +113,15 @@ class TruncationPolicy:
         if ctx is None:
             assert self.config is not None
             if self.config.mode == Mode.MEM:
+                # shadow contexts are the measurement: never re-planed
                 ctx = ShadowContext.from_config(self.config, runtime=self.runtime, module=module)
             else:
-                ctx = TruncatedContext.from_config(self.config, runtime=self.runtime, module=module)
+                from ..kernels.dispatch import select_context
+
+                ctx = select_context(
+                    TruncatedContext.from_config(self.config, runtime=self.runtime, module=module),
+                    self.plane,
+                )
             self._trunc_contexts[module] = ctx
         return ctx
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import numbers
+from fractions import Fraction
 from typing import Callable, Optional, Union
 
 import numpy as np
@@ -21,7 +22,59 @@ import numpy as np
 from .fpformat import FP64, FPFormat
 from .quantize import RoundingMode, quantize
 
-__all__ = ["EmulatedFloat", "emulated_math"]
+__all__ = ["EmulatedFloat", "emulated_math", "exact_quantize"]
+
+
+def exact_quantize(
+    value: float,
+    fmt: FPFormat = FP64,
+    rounding: str = RoundingMode.NEAREST_EVEN,
+) -> float:
+    """Round a scalar into ``fmt`` using exact rational arithmetic.
+
+    An independent oracle for :func:`repro.core.quantize.quantize`: the
+    representable grid of ``fmt`` around ``value`` is constructed from
+    first principles (spacing ``2**(max(E, emin) - man_bits)`` in the
+    binade of exponent ``E``, which covers normals, subnormals and the
+    below-``min_subnormal`` regime uniformly) and the grid index is
+    rounded as an exact :class:`~fractions.Fraction` — no binary64
+    intermediates, so every directed-rounding decision at the underflow
+    boundary is exact.  Overflow follows IEEE 754: directed modes clamp
+    to ``max_value`` on the side they cannot cross, nearest goes to
+    infinity past the top of the grid.
+    """
+    if rounding not in RoundingMode.ALL:
+        raise ValueError(f"unknown rounding mode: {rounding!r}")
+    x = float(value)
+    # non-finite values and zeros (either sign) pass through untouched
+    if not math.isfinite(x) or x == 0.0:
+        return x
+    m, e = math.frexp(abs(x))  # |x| = m * 2**e, m in [0.5, 1): exact
+    E = e - 1
+    ulp_exp = max(E, fmt.emin) - fmt.man_bits
+    scaled = Fraction(x) / Fraction(2) ** ulp_exp
+    if rounding == RoundingMode.NEAREST_EVEN:
+        n = round(scaled)  # Fraction.__round__ is exact half-to-even
+    elif rounding == RoundingMode.TOWARD_ZERO:
+        n = math.trunc(scaled)
+    elif rounding == RoundingMode.UP:
+        n = math.ceil(scaled)
+    else:  # DOWN
+        n = math.floor(scaled)
+    q = n * Fraction(2) ** ulp_exp
+    if abs(q) > Fraction(fmt.max_value):
+        if rounding == RoundingMode.TOWARD_ZERO:
+            q = Fraction(fmt.max_value) if q > 0 else -Fraction(fmt.max_value)
+        elif rounding == RoundingMode.UP:
+            return math.inf if q > 0 else -fmt.max_value
+        elif rounding == RoundingMode.DOWN:
+            return -math.inf if q < 0 else fmt.max_value
+        else:
+            return math.copysign(math.inf, x)
+    result = float(q)
+    if result == 0.0 and math.copysign(1.0, x) < 0.0:
+        return -0.0
+    return result
 
 Number = Union[int, float, "EmulatedFloat"]
 

@@ -220,9 +220,13 @@ def _evaluate_bits(
     rounding: str,
     threshold: Optional[float],
     plane: str = "auto",
+    count_ops: bool = True,
 ) -> CliffEvaluation:
     runtime = RaptorRuntime(f"{workload.name}-cliff-m{man_bits}")
-    built = policy.build(FPFormat(exp_bits, man_bits), runtime, rounding=rounding, plane=plane)
+    built = policy.build(
+        FPFormat(exp_bits, man_bits), runtime,
+        rounding=rounding, plane=plane, count_ops=count_ops,
+    )
     outcome = workload.run(policy=built, runtime=runtime)
     evaluate = getattr(workload, "evaluate", None)
     if evaluate is not None:
@@ -254,6 +258,7 @@ def find_cliff(
     reference: Optional[Outcome] = None,
     index: int = 0,
     plane: str = "auto",
+    count_ops: bool = True,
 ) -> CliffResult:
     """Bisect the mantissa axis of one (workload, policy) pair.
 
@@ -320,7 +325,8 @@ def find_cliff(
 
     def evaluate(bits: int) -> CliffEvaluation:
         return _evaluate_bits(
-            obj, pol, reference, bits, exp_bits, rounding, threshold, plane=plane
+            obj, pol, reference, bits, exp_bits, rounding, threshold,
+            plane=plane, count_ops=count_ops,
         )
 
     cliff, evaluations = bisect_cliff(evaluate, min_man_bits, max_man_bits)
@@ -382,6 +388,12 @@ class AdaptiveSpec:
     #: kernel plane of non-truncating contexts (references + untruncated
     #: probe modules); same semantics as :attr:`SweepSpec.plane`
     plane: str = "auto"
+    #: record op/mem counters in the probes (default).  ``False`` builds
+    #: non-counting probe policies, routing truncated probe contexts onto
+    #: the fused truncating plane under ``plane="fast"|"auto"`` —
+    #: bit-identical pass/fail decisions, much faster bisections, but
+    #: ``truncated_fraction`` reads zero in the evaluations.
+    count_probe_ops: bool = True
     backend: str = "serial"
     max_workers: Optional[int] = None
     cache_dir: Optional[str] = None
@@ -493,6 +505,7 @@ class _CliffTask:
     reference_time: float
     reference_kind: str
     plane: str = "auto"
+    count_ops: bool = True
 
 
 def _execute_cliff(task: _CliffTask) -> CliffResult:
@@ -515,6 +528,7 @@ def _execute_cliff(task: _CliffTask) -> CliffResult:
         reference=reference,
         index=cell.index,
         plane=task.plane,
+        count_ops=task.count_ops,
     )
 
 
@@ -615,6 +629,7 @@ class AdaptiveResult:
             tuple(sorted((canonical_name(k), v) for k, v in base.thresholds.items())),
             base.rounding,
             base.plane,
+            base.count_probe_ops,
             tuple((w, sorted(base.config_kwargs(w).items())) for w in base.workloads),
         )
 
@@ -705,6 +720,7 @@ def run_adaptive_sweep(
             reference_time=references[cell.workload].time,
             reference_kind=getattr(references[cell.workload], "kind", "compressible"),
             plane=spec.plane,
+            count_ops=spec.count_probe_ops,
         )
         for cell in cells
     ]

@@ -74,14 +74,30 @@ __all__ = [
     "solver_fingerprint",
 ]
 
-#: subpackages of ``repro`` whose source participates in the physics
-#: fingerprint.  ``experiments`` / ``parallel`` / ``codesign`` are excluded
-#: on purpose: they orchestrate runs but cannot change the numbers a
-#: reference run produces.  ``kernels`` is included: the fast plane is
+#: subpackages of ``repro`` excluded from the physics fingerprint on
+#: purpose: they orchestrate runs but cannot change the numbers a
+#: reference run produces.  Everything else — including any subpackage
+#: added after this module was written — participates: the list of
+#: physics packages is enumerated from the installed tree at call time,
+#: so a new kernels/solver package can never be silently left out of
+#: cache invalidation.  ``kernels`` is included: the fast planes are
 #: contractually bit-identical, but a bug there must invalidate caches.
-_PHYSICS_PACKAGES = ("core", "amr", "hydro", "eos", "burn", "incomp", "kernels", "workloads", "io")
+_NON_PHYSICS_PACKAGES = frozenset({"experiments", "parallel", "codesign"})
 
 _fingerprint_cache: Optional[str] = None
+
+
+def _physics_packages(root: Path) -> List[str]:
+    """The ``repro`` subpackages whose source participates in the physics
+    fingerprint: every importable subpackage not on the orchestration
+    exclude-list, discovered dynamically."""
+    return sorted(
+        entry.name
+        for entry in root.iterdir()
+        if entry.is_dir()
+        and (entry / "__init__.py").is_file()
+        and entry.name not in _NON_PHYSICS_PACKAGES
+    )
 
 
 def solver_fingerprint(refresh: bool = False) -> str:
@@ -100,7 +116,7 @@ def solver_fingerprint(refresh: bool = False) -> str:
     digest = hashlib.sha256()
     digest.update(repro.__version__.encode("utf-8"))
     root = Path(repro.__file__).parent
-    for package in _PHYSICS_PACKAGES:
+    for package in _physics_packages(root):
         for path in sorted((root / package).glob("**/*.py")):
             digest.update(str(path.relative_to(root)).encode("utf-8"))
             digest.update(path.read_bytes())

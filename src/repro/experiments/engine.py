@@ -76,6 +76,7 @@ class _PointTask:
     reference_time: float
     keep_state: bool
     plane: str = "auto"
+    count_ops: bool = True
 
 
 # ---------------------------------------------------------------------------
@@ -297,6 +298,9 @@ class SweepResult:
             # shards of one sweep must agree on it (states would match, the
             # merged counter roll-up would not)
             base.plane,
+            # non-counting points carry zeroed counters, so shards of one
+            # sweep must also agree on whether points count at all
+            base.count_point_ops,
             tuple((w, sorted(base.config_kwargs(w).items())) for w in base.workloads),
         )
 
@@ -403,7 +407,9 @@ def _execute_point(task: _PointTask) -> PointResult:
     point = task.point
     workload = create_workload(point.workload, **task.config_kwargs)
     runtime = RaptorRuntime(f"{point.workload}-{point.format_name}-{point.policy.describe()}")
-    policy = point.policy.build(point.fmt, runtime, rounding=task.rounding, plane=task.plane)
+    policy = point.policy.build(
+        point.fmt, runtime, rounding=task.rounding, plane=task.plane, count_ops=task.count_ops
+    )
     run = workload.run(policy=policy, runtime=runtime)
 
     reference = Outcome(
@@ -565,6 +571,7 @@ def run_sweep(
             reference_time=references[point.workload].time,
             keep_state=spec.keep_states,
             plane=spec.plane,
+            count_ops=spec.count_point_ops,
         )
         for point in points
     ]

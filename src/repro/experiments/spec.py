@@ -220,15 +220,25 @@ class PolicySpec:
         runtime: RaptorRuntime,
         rounding: str = RoundingMode.NEAREST_EVEN,
         plane: str = "auto",
+        count_ops: bool = True,
     ) -> TruncationPolicy:
         """Materialise the policy for one sweep point.
 
-        ``plane`` selects the kernel plane of the policy's non-truncating
-        contexts (see :mod:`repro.kernels`); truncated contexts always stay
-        instrumented."""
+        ``plane`` selects the kernel plane of the policy's contexts (see
+        :mod:`repro.kernels`).  With the default ``count_ops=True``,
+        truncated contexts record op counts and therefore always stay
+        instrumented; ``count_ops=False`` builds non-counting contexts
+        throughout, which makes the policy's truncated contexts eligible
+        for the fused truncating plane under ``plane="fast"|"auto"``
+        (bit-identical states, no counters)."""
         if self.kind == "none":
-            return NoTruncationPolicy(runtime=runtime, plane=plane)
-        config = TruncationConfig(targets={64: fmt}, rounding=rounding)
+            return NoTruncationPolicy(
+                runtime=runtime, count_ops=count_ops, track_memory=count_ops, plane=plane
+            )
+        config = TruncationConfig(
+            targets={64: fmt}, rounding=rounding,
+            count_ops=count_ops, track_memory=count_ops,
+        )
         if self.kind == "amr-cutoff":
             return AMRCutoffPolicy(
                 config, cutoff=self.cutoff, modules=self.modules, runtime=runtime, plane=plane
@@ -298,6 +308,12 @@ class SweepSpec:
     keep_states:
         Also return the final uniform-grid state of every point (larger
         results; off by default).
+    count_point_ops:
+        Record op/mem counters in the sweep points (default).  ``False``
+        builds every point policy non-counting, which routes truncated
+        contexts onto the fused truncating plane under
+        ``plane="fast"|"auto"`` — bit-identical states, much faster, but
+        the point snapshots carry zeroed counters.
     cache_dir:
         Directory of the on-disk reference cache (see
         :mod:`repro.experiments.cache`).  ``None`` disables caching unless
@@ -317,6 +333,7 @@ class SweepSpec:
     backend: str = "serial"
     max_workers: Optional[int] = None
     keep_states: bool = False
+    count_point_ops: bool = True
     cache_dir: Optional[str] = None
     shard_index: int = 0
     shard_count: int = 1

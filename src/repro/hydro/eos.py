@@ -7,7 +7,9 @@ Sedov/Sod hydro experiments the ideal-gas EOS below is used).
 
 When the supplied context is on the fused binary64 fast plane
 (``ctx.fused``), every helper dispatches to its straight-line numpy twin in
-:mod:`repro.kernels.flux` — bit-identical values, zero per-op dispatch.
+:mod:`repro.kernels.flux` — bit-identical values, zero per-op dispatch; on
+the fused truncating plane (``ctx.fused_trunc``) it dispatches to the
+quantize-at-op-boundary twin in :mod:`repro.kernels.trunc`.
 """
 from __future__ import annotations
 
@@ -17,6 +19,7 @@ import numpy as np
 
 from ..kernels import FPContext, FullPrecisionContext
 from ..kernels import flux as _fused_flux
+from ..kernels import trunc as _trunc_flux
 
 __all__ = ["GammaLawEOS"]
 
@@ -53,6 +56,10 @@ class GammaLawEOS:
             return _fused_flux.eos_pressure_from_internal_energy(
                 dens, eint, self.gamma, self.pressure_floor
             )
+        if getattr(ctx, "fused_trunc", False):
+            return _trunc_flux.eos_pressure_from_internal_energy(
+                dens, eint, self.gamma, self.pressure_floor, fmt=ctx.fmt, rounding=ctx.rounding
+            )
         ctx = ctx or FullPrecisionContext(count_ops=False, track_memory=False)
         pres = ctx.mul(ctx.const(self.gamma - 1.0), ctx.mul(dens, eint, "eos:rho_e"), "eos:pres")
         return ctx.maximum(pres, ctx.const(self.pressure_floor), "eos:floor")
@@ -61,6 +68,10 @@ class GammaLawEOS:
         """e_int = p / ((gamma - 1) rho)."""
         if getattr(ctx, "fused", False):
             return _fused_flux.eos_internal_energy(dens, pres, self.gamma)
+        if getattr(ctx, "fused_trunc", False):
+            return _trunc_flux.eos_internal_energy(
+                dens, pres, self.gamma, fmt=ctx.fmt, rounding=ctx.rounding
+            )
         ctx = ctx or FullPrecisionContext(count_ops=False, track_memory=False)
         denom = ctx.mul(ctx.const(self.gamma - 1.0), dens, "eos:gm1_rho")
         return ctx.div(pres, denom, "eos:eint")
@@ -69,6 +80,10 @@ class GammaLawEOS:
         """c = sqrt(gamma * p / rho)."""
         if getattr(ctx, "fused", False):
             return _fused_flux.eos_sound_speed(dens, pres, self.gamma)
+        if getattr(ctx, "fused_trunc", False):
+            return _trunc_flux.eos_sound_speed(
+                dens, pres, self.gamma, fmt=ctx.fmt, rounding=ctx.rounding
+            )
         ctx = ctx or FullPrecisionContext(count_ops=False, track_memory=False)
         ratio = ctx.div(ctx.mul(ctx.const(self.gamma), pres, "eos:gp"), dens, "eos:gp_rho")
         return ctx.sqrt(ratio, "eos:cs")
@@ -77,6 +92,10 @@ class GammaLawEOS:
         """Total energy density E = rho e_int + 0.5 rho (u^2 + v^2)."""
         if getattr(ctx, "fused", False):
             return _fused_flux.eos_total_energy(dens, velx, vely, pres, self.gamma)
+        if getattr(ctx, "fused_trunc", False):
+            return _trunc_flux.eos_total_energy(
+                dens, velx, vely, pres, self.gamma, fmt=ctx.fmt, rounding=ctx.rounding
+            )
         ctx = ctx or FullPrecisionContext(count_ops=False, track_memory=False)
         eint = self.internal_energy_from_pressure(dens, pres, ctx)
         ke = ctx.mul(
@@ -95,6 +114,11 @@ class GammaLawEOS:
         if getattr(ctx, "fused", False):
             return _fused_flux.eos_pressure_from_total_energy(
                 dens, momx, momy, ener, self.gamma, self.pressure_floor, self.density_floor
+            )
+        if getattr(ctx, "fused_trunc", False):
+            return _trunc_flux.eos_pressure_from_total_energy(
+                dens, momx, momy, ener, self.gamma, self.pressure_floor, self.density_floor,
+                fmt=ctx.fmt, rounding=ctx.rounding,
             )
         ctx = ctx or FullPrecisionContext(count_ops=False, track_memory=False)
         dens_f = ctx.maximum(dens, ctx.const(self.density_floor), "eos:rho_floor")

@@ -18,7 +18,9 @@ excluded, independently of the other solver stages.  When the active
 context is on the fused binary64 fast plane (``ctx.fused``),
 :func:`reconstruct` dispatches to the pre-fused numpy stencils of
 :mod:`repro.kernels.fused` instead of the op-by-op path — bit-identical
-results, zero per-op dispatch.
+results, zero per-op dispatch; on the fused truncating plane
+(``ctx.fused_trunc``) it dispatches to the quantize-at-op-boundary
+stencils of :mod:`repro.kernels.trunc`.
 
 The functions operate on 2-D block arrays including guard cells along the
 sweep axis and return the left/right states at the ``n+1`` interior faces.
@@ -27,7 +29,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from ..kernels import FPContext, fused
+from ..kernels import FPContext, fused, trunc
 
 __all__ = ["reconstruct", "SCHEMES"]
 
@@ -203,10 +205,11 @@ def reconstruct(
     scheme:
         "pcm", "plm" or "weno5".
 
-    The fused branch serves direct callers holding a fast-plane context;
-    the hydro solver's own fast path never reaches it (``advance_block``
-    short-circuits into :func:`repro.kernels.flux.advance`, which invokes
-    the fused stencils with workspace-threaded scratch keys itself).
+    The fused branches serve direct callers holding a fast-plane context;
+    the hydro solver's own fast paths never reach them (``advance_block``
+    short-circuits into :func:`repro.kernels.flux.advance` /
+    :func:`repro.kernels.trunc.advance`, which invoke the fused stencils
+    with workspace-threaded scratch keys themselves).
     """
     try:
         fn = SCHEMES[scheme]
@@ -218,4 +221,8 @@ def reconstruct(
         raise ValueError("plm needs at least 2 guard cells")
     if getattr(ctx, "fused", False):
         return fused.FUSED_SCHEMES[scheme](u, axis, ng, n_faces_minus_1)
+    if getattr(ctx, "fused_trunc", False):
+        return trunc.TRUNC_SCHEMES[scheme](
+            u, axis, ng, n_faces_minus_1, fmt=ctx.fmt, rounding=ctx.rounding
+        )
     return fn(u, axis, ng, n_faces_minus_1, ctx)

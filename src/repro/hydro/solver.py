@@ -23,6 +23,7 @@ import numpy as np
 from ..amr.grid import AMRGrid
 from ..kernels import FPContext, FullPrecisionContext, ShadowContext
 from ..kernels import flux as fused_flux
+from ..kernels import trunc as trunc_flux
 from ..kernels.scratch import Workspace, batching_enabled, make_workspace
 from .eos import GammaLawEOS
 from .reconstruction import reconstruct
@@ -186,12 +187,19 @@ class HydroSolver:
         On the fused fast plane (``ctx.fused``) the whole update —
         reconstruct → wave speeds → flux → conserved update — runs through
         the pre-fused pipeline of :mod:`repro.kernels.flux` without a
-        single context dispatch, bit-identical to the op-by-op path.
+        single context dispatch, bit-identical to the op-by-op path.  On
+        the fused *truncating* plane (``ctx.fused_trunc``) the same
+        pipeline runs through :mod:`repro.kernels.trunc`, quantised at
+        every op boundary — bit-identical to the optimized instrumented
+        truncating path.
         """
         ng, nxb, nyb = block.ng, block.nxb, block.nyb
         if getattr(ctx, "fused", False):
             prims = {name: block.data[name] for name in PRIMITIVE_VARS}
             return self._advance_fused(prims, dt, block.dx, block.dy, ng, nxb, nyb)
+        if getattr(ctx, "fused_trunc", False):
+            prims = {name: block.data[name] for name in PRIMITIVE_VARS}
+            return self._advance_fused_trunc(prims, dt, block.dx, block.dy, ng, nxb, nyb, ctx)
         stages = self._stage_contexts(ctx)
         update_ctx = stages["update"]
 
@@ -277,18 +285,35 @@ class HydroSolver:
             ws=self._workspace,
         )
 
+    def _advance_fused_trunc(self, prims: Dict, dt: float, dx: float, dy: float,
+                             ng: int, nxb: int, nyb: int, ctx: FPContext) -> Dict[str, np.ndarray]:
+        """The fully fused truncating block (or block-stack) update."""
+        return trunc_flux.advance(
+            prims, dt, dx, dy, ng, nxb, nyb,
+            scheme=self.reconstruction,
+            solver=self.riemann,
+            gamma=self.eos.gamma,
+            dens_floor=self.eos.density_floor,
+            pres_floor=self.eos.pressure_floor,
+            gravity=self.gravity,
+            fmt=ctx.fmt,
+            rounding=ctx.rounding,
+            ws=self._workspace,
+        )
+
     # ------------------------------------------------------------------
     # grid-level stepping
     # ------------------------------------------------------------------
     def _substep(self, grid: AMRGrid, dt: float, provider: ContextProvider) -> None:
         """One forward-Euler substep over all leaves (guard cells refilled).
 
-        Blocks whose context rides the fused fast plane are stacked per AMR
-        level into one ``(nblocks, nx, ny)`` batched kernel invocation
-        (element-wise ufuncs are independent per slot, so the batched
-        update is bit-identical to the per-block loop); everything else —
-        truncating, shadow and counting contexts — takes the per-block
-        op-by-op path.
+        Blocks whose context rides a fused plane (binary64 or truncating)
+        are stacked per AMR level — and, for the truncating plane, per
+        (format, rounding) signature — into one ``(nblocks, nx, ny)``
+        batched kernel invocation (element-wise ufuncs are independent per
+        slot, so the batched update is bit-identical to the per-block
+        loop); everything else — instrumented truncating, shadow and
+        counting contexts — takes the per-block op-by-op path.
         """
         max_level = grid.finest_level
         keys = grid.sorted_keys()
@@ -298,17 +323,24 @@ class HydroSolver:
             # a regrid-heavy run cannot accumulate buffer families unboundedly
             self._workspace.trim()
 
-        batched: Dict[int, list] = {}
+        batched: Dict[tuple, list] = {}
         if self.batch_blocks:
             for key in keys:
-                if getattr(contexts[key], "fused", False):
-                    batched.setdefault(key[0], []).append(key)
+                ctx = contexts[key]
+                if getattr(ctx, "fused", False):
+                    batched.setdefault((key[0], "b64"), []).append(key)
+                elif getattr(ctx, "fused_trunc", False):
+                    sig = (key[0], "trunc", ctx.fmt.exp_bits, ctx.fmt.man_bits, ctx.rounding)
+                    batched.setdefault(sig, []).append(key)
             # a single block gains nothing from stacking
-            batched = {level: group for level, group in batched.items() if len(group) > 1}
+            batched = {sig: group for sig, group in batched.items() if len(group) > 1}
 
         updates: Dict = {}
-        for level in sorted(batched):
-            updates.update(self._advance_level_batched(grid, batched[level], dt))
+        for sig in sorted(batched):
+            group = batched[sig]
+            updates.update(
+                self._advance_level_batched(grid, group, dt, ctx=contexts[group[0]])
+            )
         in_batch = {key for group in batched.values() for key in group}
         for key in keys:
             if key in in_batch:
@@ -321,8 +353,13 @@ class HydroSolver:
                 block.set_interior(name, values)
         grid.fill_guard_cells(list(PRIMITIVE_VARS))
 
-    def _advance_level_batched(self, grid: AMRGrid, group, dt: float) -> Dict:
-        """Advance same-level fused blocks as one stacked kernel invocation."""
+    def _advance_level_batched(self, grid: AMRGrid, group, dt: float, ctx=None) -> Dict:
+        """Advance same-level fused blocks as one stacked kernel invocation.
+
+        ``ctx`` is the (shared) context of the group: a truncating
+        fast-plane context routes the stack through the fused truncating
+        pipeline, anything else through the binary64 one.
+        """
         blocks = [grid.leaves[key] for key in group]
         first = blocks[0]
         shape = (len(blocks), *first.shape_with_guards)
@@ -333,9 +370,14 @@ class HydroSolver:
             for i, block in enumerate(blocks):
                 stack[i] = block.data[name]
             prims[name] = stack
-        new = self._advance_fused(
-            prims, dt, first.dx, first.dy, first.ng, first.nxb, first.nyb
-        )
+        if getattr(ctx, "fused_trunc", False):
+            new = self._advance_fused_trunc(
+                prims, dt, first.dx, first.dy, first.ng, first.nxb, first.nyb, ctx
+            )
+        else:
+            new = self._advance_fused(
+                prims, dt, first.dx, first.dy, first.ng, first.nxb, first.nyb
+            )
         return {
             key: {name: new[name][i] for name in PRIMITIVE_VARS}
             for i, key in enumerate(group)

@@ -28,6 +28,7 @@ import numpy as np
 from ..hydro.reconstruction import _weno5_edge
 from ..kernels import FPContext, FullPrecisionContext, select_context
 from ..kernels.fused import weno5_edge as _fused_weno5_edge
+from ..kernels.trunc import weno5_edge as _trunc_weno5_edge
 from ..kernels.scratch import make_workspace
 from .levelset import LevelSet, circle_level_set
 from .poisson import PoissonSolver
@@ -140,6 +141,12 @@ class BubbleSolver:
             ws = self._workspace
             edge = lambda a, b, c, d, e, k: _fused_weno5_edge(
                 a, b, c, d, e, ws=ws, key=("adv", axis, k)
+            )
+        elif getattr(ctx, "fused_trunc", False):
+            ws = self._workspace
+            edge = lambda a, b, c, d, e, k: _trunc_weno5_edge(
+                a, b, c, d, e, ws=ws, key=("adv", axis, k),
+                fmt=ctx.fmt, rounding=ctx.rounding,
             )
         else:
             edge = lambda a, b, c, d, e, k: _weno5_edge(a, b, c, d, e, ctx)

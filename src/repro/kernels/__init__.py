@@ -15,7 +15,13 @@ on:
   the preallocated scratch workspaces of :mod:`repro.kernels.scratch` —
   non-truncating, non-instrumenting contexts run as plain vectorized
   numpy with zero per-op bookkeeping and (steady-state) zero temporary
-  allocation, bit-identical to the instrumented plane.
+  allocation, bit-identical to the instrumented plane, and
+* the **fused truncating fast plane** — :class:`TruncFastPlaneContext`
+  plus the quantize-at-op-boundary kernel twins of
+  :mod:`repro.kernels.trunc`: non-counting truncating contexts run the
+  same fused pipeline with a vectorised quantisation at exactly the op
+  boundaries the instrumented plane rounds at, bit-identical to the
+  optimized op-by-op truncating path.
 
 Plane selection (:func:`select_context`) is applied centrally by
 :class:`~repro.core.selective.TruncationPolicy`, so every workload honours
@@ -29,17 +35,19 @@ consume, so kernel code depends on ``repro.kernels`` alone.
 """
 from ..core.memmode import ShadowContext
 from ..core.opmode import FPContext, FullPrecisionContext, TruncatedContext, make_context
-from . import flux, fused, scratch
+from . import flux, fused, scratch, trunc
 from .dispatch import (
     DEFAULT_PLANE,
     PLANES,
     is_fast_eligible,
+    is_trunc_fast_eligible,
     reference_plane,
     select_context,
     validate_plane,
 )
 from .fast import FastPlaneContext
 from .scratch import Workspace, batching_enabled, make_workspace, scratch_enabled
+from .trunc import TruncFastPlaneContext
 
 __all__ = [
     # the context interface solver kernels consume
@@ -48,10 +56,12 @@ __all__ = [
     "TruncatedContext",
     "ShadowContext",
     "make_context",
-    # the fast plane
+    # the fast planes
     "FastPlaneContext",
+    "TruncFastPlaneContext",
     "fused",
     "flux",
+    "trunc",
     # scratch workspaces
     "scratch",
     "Workspace",
@@ -63,6 +73,7 @@ __all__ = [
     "DEFAULT_PLANE",
     "validate_plane",
     "is_fast_eligible",
+    "is_trunc_fast_eligible",
     "select_context",
     "reference_plane",
 ]

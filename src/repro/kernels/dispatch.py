@@ -7,15 +7,20 @@ computes:
   (:mod:`repro.core.opmode` / :mod:`repro.core.memmode`): per-op counter
   updates, truncation, error tracking, shadow values.  Bit-for-bit the
   pre-kernel-plane behaviour, counters included.
-* ``"fast"`` — non-truncating, non-shadow contexts are replaced by the
-  fused binary64 :class:`~repro.kernels.fast.FastPlaneContext`, and the
-  solvers route their hot paths through the pre-fused kernels of
-  :mod:`repro.kernels.fused` / :mod:`repro.kernels.flux` (scratch-buffered
-  and block-batched).  States are bit-identical (the fast plane evaluates
-  the same ufunc expression trees); the trade is that those contexts no
-  longer feed the op/mem counters.  Truncating and shadow contexts are the
-  measurement itself and always remain instrumented.
-* ``"auto"`` (default) — fast only where it is a pure win: contexts that
+* ``"fast"`` — non-counting contexts move to their fused plane: plain
+  binary64 contexts become the :class:`~repro.kernels.fast.FastPlaneContext`
+  and non-counting truncating contexts become the
+  :class:`~repro.kernels.trunc.TruncFastPlaneContext`; the solvers route
+  their hot paths through the pre-fused kernels of
+  :mod:`repro.kernels.fused` / :mod:`repro.kernels.flux` /
+  :mod:`repro.kernels.trunc` (scratch-buffered and block-batched).  States
+  are bit-identical (the fused planes evaluate the same ufunc expression
+  trees, quantised at the same op boundaries); the trade is that
+  substituted contexts no longer feed the op/mem counters.  *Counting*
+  truncating contexts and shadow contexts are the measurement itself and
+  always remain instrumented — substituting a counting binary64 context
+  here zeroes its counters, which is reported with a :class:`UserWarning`.
+* ``"auto"`` (default) — fused only where it is a pure win: contexts that
   would record nothing anyway (``count_ops`` and ``track_memory`` both
   off).  Counting contexts stay instrumented, so reported counters are
   byte-identical to the instrumented plane.
@@ -29,14 +34,18 @@ counters in its snapshot.
 """
 from __future__ import annotations
 
-from ..core.opmode import FPContext, FullPrecisionContext
+import warnings
+
+from ..core.opmode import FPContext, FullPrecisionContext, TruncatedContext
 from .fast import FastPlaneContext
+from .trunc import TruncFastPlaneContext
 
 __all__ = [
     "PLANES",
     "DEFAULT_PLANE",
     "validate_plane",
     "is_fast_eligible",
+    "is_trunc_fast_eligible",
     "select_context",
     "reference_plane",
 ]
@@ -56,7 +65,8 @@ def validate_plane(plane: str) -> str:
 
 
 def is_fast_eligible(ctx: FPContext) -> bool:
-    """Whether the fast plane preserves ``ctx``'s semantics bit for bit.
+    """Whether the binary64 fast plane preserves ``ctx``'s semantics bit
+    for bit.
 
     True exactly for plain binary64 contexts: a (subclass of)
     :class:`FullPrecisionContext` that does not truncate.  Truncated and
@@ -65,20 +75,57 @@ def is_fast_eligible(ctx: FPContext) -> bool:
     return isinstance(ctx, FullPrecisionContext) and not ctx.truncating
 
 
+def is_trunc_fast_eligible(ctx: FPContext) -> bool:
+    """Whether the truncating fast plane preserves ``ctx``'s semantics bit
+    for bit *and* loses nothing by dropping the counters.
+
+    True exactly for optimized op-mode :class:`TruncatedContext`\\ s that
+    record nothing: ``count_ops``/``track_memory``/``track_errors`` all
+    off.  A counting truncating context *is* the measurement and stays
+    instrumented on every plane; shadow (mem-mode) contexts are not
+    ``TruncatedContext`` subclasses and are excluded structurally; the
+    naive (``optimized=False``) path re-quantises every operand, which the
+    fused twins do not reproduce.
+    """
+    return (
+        isinstance(ctx, TruncatedContext)
+        and ctx.optimized
+        and not (ctx.count_ops or ctx.track_memory or ctx.track_errors)
+    )
+
+
 def select_context(ctx: FPContext, plane: str = DEFAULT_PLANE) -> FPContext:
     """The context that should actually execute, given the requested plane.
 
     Returns ``ctx`` itself whenever substitution would change semantics
-    (truncating / shadow contexts, the ``"instrumented"`` plane) or record
-    different counters under ``"auto"``.
+    (counting truncating / shadow contexts, the ``"instrumented"`` plane)
+    or record different counters under ``"auto"``.  An explicit
+    ``plane="fast"`` request on a *counting* binary64 context substitutes
+    anyway (states stay bit-identical) but warns that the counters will
+    read zero.
     """
     validate_plane(plane)
-    if plane == "instrumented" or isinstance(ctx, FastPlaneContext):
+    if plane == "instrumented" or isinstance(ctx, (FastPlaneContext, TruncFastPlaneContext)):
         return ctx
+    if is_trunc_fast_eligible(ctx):
+        # non-counting truncating context: the fused truncating plane is a
+        # pure, bit-identical win under both "fast" and "auto"
+        return TruncFastPlaneContext.from_context(ctx)
     if not is_fast_eligible(ctx):
         return ctx
-    if plane == "auto" and (ctx.count_ops or ctx.track_memory):
-        return ctx
+    if ctx.count_ops or ctx.track_memory:
+        if plane == "auto":
+            return ctx
+        # explicit "fast" on a counting binary64 context: honour the
+        # request, but the caller loses its op/mem counters — say so
+        warnings.warn(
+            f"plane='fast' substitutes the non-counting fast plane for a "
+            f"counting binary64 context (module={ctx.module!r}): its op/mem "
+            f"counters will read zero; request plane='auto' to keep counting "
+            f"contexts instrumented",
+            UserWarning,
+            stacklevel=2,
+        )
     return FastPlaneContext(runtime=ctx.runtime, module=ctx.module)
 
 

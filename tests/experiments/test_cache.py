@@ -97,6 +97,45 @@ class TestKeys:
         b = reference_key("cellular", dict(n_cells=32))
         assert a == b
 
+    def test_physics_packages_enumerated_dynamically(self, tmp_path):
+        from repro.experiments.cache import _physics_packages
+
+        for name in ("hydro", "kernels", "experiments", "parallel", "codesign", "newpkg"):
+            (tmp_path / name).mkdir()
+            (tmp_path / name / "__init__.py").write_text("")
+        (tmp_path / "not_a_package").mkdir()  # no __init__.py: skipped
+        (tmp_path / "loose.py").write_text("")  # plain file: skipped
+        # orchestration packages are excluded; everything else — including
+        # a package that did not exist when cache.py was written — is in
+        assert _physics_packages(tmp_path) == ["hydro", "kernels", "newpkg"]
+
+    def test_fingerprint_covers_every_physics_package(self, tmp_path):
+        import repro
+        from pathlib import Path
+        from repro.experiments.cache import _NON_PHYSICS_PACKAGES, _physics_packages
+
+        root = Path(repro.__file__).parent
+        packages = _physics_packages(root)
+        # the real tree: kernels (fast planes) must participate, the
+        # orchestration-only packages must not
+        assert "kernels" in packages and "hydro" in packages and "core" in packages
+        assert not set(packages) & _NON_PHYSICS_PACKAGES
+
+    def test_fingerprint_changes_when_physics_source_changes(self):
+        import repro
+        from pathlib import Path
+
+        root = Path(repro.__file__).parent
+        extra = root / "kernels" / "_fingerprint_probe_delete_me.py"
+        before = solver_fingerprint(refresh=True)
+        try:
+            extra.write_text("# temporary fingerprint probe\n")
+            after = solver_fingerprint(refresh=True)
+        finally:
+            extra.unlink()
+            solver_fingerprint(refresh=True)  # restore the memoised value
+        assert before != after
+
 
 # ---------------------------------------------------------------------------
 # the two levels

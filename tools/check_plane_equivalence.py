@@ -9,6 +9,10 @@ pass runs the golden Sedov configuration (WENO5 + HLLC) through the fast
 plane's full fused-flux pipeline — Riemann/EOS fusion, preallocated
 scratch workspaces and batched block stepping, which this script insists
 are enabled — and diffs it against the instrumented plane the same way.
+A third pass repeats both golden configurations as *truncated* (e8m10,
+non-counting) runs: the instrumented op-by-op ``TruncatedContext`` path
+vs the fused truncating plane (``repro.kernels.trunc``), which quantizes
+at the same op boundaries and must match bitwise too.
 
     PYTHONPATH=src python tools/check_plane_equivalence.py
 """
@@ -48,6 +52,37 @@ def _diff_planes(name: str, config: dict) -> list:
     return failures
 
 
+def _diff_trunc_planes(name: str, config: dict) -> list:
+    from repro.core import FPFormat, GlobalPolicy, RaptorRuntime, TruncationConfig
+    from repro.workloads import create_workload
+
+    def run(plane):
+        runtime = RaptorRuntime()
+        policy = GlobalPolicy(
+            TruncationConfig(targets={64: FPFormat(exp_bits=8, man_bits=10)},
+                             count_ops=False, track_memory=False),
+            runtime=runtime, plane=plane,
+        )
+        return create_workload(name, **config).run(policy=policy, runtime=runtime)
+
+    instrumented = run("instrumented")
+    fast = run("auto")
+
+    failures = []
+    if instrumented.time != fast.time:
+        failures.append(
+            f"{name} (truncated): final time differs: {instrumented.time} vs {fast.time}"
+        )
+    for var in sorted(instrumented.state):
+        a, b = instrumented.state[var], fast.state[var]
+        if not np.array_equal(a, b):
+            diverged = int(np.sum(a != b))
+            failures.append(
+                f"{name} (truncated): variable {var!r}: {diverged}/{a.size} cells differ"
+            )
+    return failures
+
+
 def main() -> int:
     from repro.kernels.scratch import batching_enabled, scratch_enabled
 
@@ -61,6 +96,7 @@ def main() -> int:
     failures = []
     for name, config in GOLDEN_CONFIGS.items():
         failures.extend(_diff_planes(name, config))
+        failures.extend(_diff_trunc_planes(name, config))
 
     if failures:
         print("FAIL: fast plane is not bit-identical to the instrumented plane")
@@ -70,7 +106,8 @@ def main() -> int:
 
     print(
         "OK: golden Sod (PLM) and Sedov (WENO5, fused flux + scratch + "
-        "batched) bitwise identical on both planes"
+        "batched) bitwise identical on both planes, full-precision and "
+        "truncated (e8m10)"
     )
     return 0
 
