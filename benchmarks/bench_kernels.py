@@ -10,7 +10,10 @@ optimisation rungs —
   advance one at a time;
 * ``fast-scratch`` — plus preallocated scratch workspaces (``out=``
   chaining, no batching);
-* ``fast``         — plus batched block stepping (the default fast plane) —
+* ``fast-nogrid``  — plus batched block stepping but with the fused grid
+  plane disabled (``RAPTOR_FAST_NO_GRID``): per-block guard fills,
+  per-block ``compute_dt`` and per-block refinement estimators;
+* ``fast``         — plus the fused grid plane (the default fast plane) —
 
 verifies the final states are bitwise identical across *all* planes — the
 fast plane's contract — and records the comparison to
@@ -33,6 +36,11 @@ Usage::
 ``--quick`` shrinks the configurations and repeats, prints the same table,
 and still enforces bitwise identity (but not the speedup floor, which is
 only meaningful at the full sizes).
+
+For the AMR workloads a third pass records a phase-level breakdown of one
+fast-plane run — wall-clock attributed to guard-cell fills, ``compute_dt``,
+regridding and the flux sweeps — so the grid-plane wins stay visible
+PR-over-PR next to the end-to-end numbers.
 """
 from __future__ import annotations
 
@@ -80,6 +88,7 @@ VARIANTS = (
     ("instrumented", "instrumented", {}),
     ("fast-flux", "fast", {"RAPTOR_FAST_NO_SCRATCH": "1", "RAPTOR_FAST_NO_BATCH": "1"}),
     ("fast-scratch", "fast", {"RAPTOR_FAST_NO_BATCH": "1"}),
+    ("fast-nogrid", "fast", {"RAPTOR_FAST_NO_GRID": "1"}),
     ("fast", "fast", {}),
 )
 
@@ -90,7 +99,8 @@ TRUNC_WORKLOADS = ("sod", "sedov", "kelvin-helmholtz")
 @contextlib.contextmanager
 def _env(overrides):
     saved = {name: os.environ.get(name) for name in
-             ("RAPTOR_FAST_NO_SCRATCH", "RAPTOR_FAST_NO_BATCH")}
+             ("RAPTOR_FAST_NO_SCRATCH", "RAPTOR_FAST_NO_BATCH",
+              "RAPTOR_FAST_NO_GRID")}
     for name in saved:
         os.environ.pop(name, None)
     os.environ.update(overrides)
@@ -142,6 +152,60 @@ def _time_truncated(workload_factory, plane: str, repeat: int):
     return best, outcome
 
 
+def _phase_breakdown(workload_factory):
+    """Wall-clock per phase of one fast-plane reference run of an AMR workload.
+
+    Wraps the grid-side entry points at class level for the duration of the
+    run.  Guard-fill time nested inside the flux substep (or a regrid) is
+    attributed to ``guard_fill`` and subtracted from the enclosing phase, so
+    the four numbers are exclusive and roughly sum to the stepped time.
+    """
+    from repro.amr.grid import AMRGrid
+    from repro.hydro.solver import HydroSolver
+
+    acc = {"guard_fill": 0.0, "compute_dt": 0.0, "regrid": 0.0, "flux": 0.0}
+    originals = {
+        "fill": AMRGrid.fill_guard_cells,
+        "dt": HydroSolver.compute_dt,
+        "regrid": AMRGrid.regrid,
+        "substep": HydroSolver._substep,
+    }
+
+    def timed(key, fn):
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                acc[key] += time.perf_counter() - start
+        return wrapper
+
+    def exclusive(key, fn):
+        def wrapper(*args, **kwargs):
+            nested = acc["guard_fill"]
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - start
+                acc[key] += elapsed - (acc["guard_fill"] - nested)
+        return wrapper
+
+    AMRGrid.fill_guard_cells = timed("guard_fill", originals["fill"])
+    HydroSolver.compute_dt = timed("compute_dt", originals["dt"])
+    AMRGrid.regrid = exclusive("regrid", originals["regrid"])
+    HydroSolver._substep = exclusive("flux", originals["substep"])
+    try:
+        with _env({}):
+            workload_factory().reference(plane="fast")
+    finally:
+        AMRGrid.fill_guard_cells = originals["fill"]
+        HydroSolver.compute_dt = originals["dt"]
+        AMRGrid.regrid = originals["regrid"]
+        HydroSolver._substep = originals["substep"]
+    return {key: round(value, 6) for key, value in acc.items()}
+
+
 def _previous_fast_seconds():
     """The fast-plane seconds of the committed record (PR-over-PR trail)."""
     try:
@@ -185,12 +249,18 @@ def run_benchmark(quick: bool, repeat: int):
             "instrumented_seconds": seconds["instrumented"],
             "fast_flux_seconds": seconds["fast-flux"],
             "fast_scratch_seconds": seconds["fast-scratch"],
+            "fast_nogrid_seconds": seconds["fast-nogrid"],
             "fast_seconds": seconds["fast"],
             "previous_fast_seconds": previous.get(name),
             "speedup": seconds["instrumented"] / seconds["fast"]
             if seconds["fast"] > 0 else float("inf"),
+            "grid_speedup": seconds["fast-nogrid"] / seconds["fast"]
+            if seconds["fast"] > 0 else float("inf"),
             "bitwise_identical": True,
         }
+
+        if name != "cellular":
+            record["phases"] = _phase_breakdown(factory)
 
         if name in TRUNC_WORKLOADS:
             slow_secs, slow_out = _time_truncated(factory, "instrumented", repeat)
@@ -234,8 +304,10 @@ def main(argv=None) -> int:
             f"{r['instrumented_seconds']:.3f}",
             f"{r['fast_flux_seconds']:.3f}",
             f"{r['fast_scratch_seconds']:.3f}",
+            f"{r['fast_nogrid_seconds']:.3f}",
             f"{r['fast_seconds']:.3f}",
             f"{r['speedup']:.2f}x",
+            f"{r['grid_speedup']:.2f}x",
             "yes",
         ]
         for r in payload["workloads"]
@@ -243,8 +315,27 @@ def main(argv=None) -> int:
     print(f"\n=== kernel planes: reference runs, {payload['mode']} mode ===")
     print(format_table(
         ["workload", "instrumented [s]", "fast-flux [s]", "fast-scratch [s]",
-         "fast [s]", "speedup", "bitwise identical"],
+         "fast-nogrid [s]", "fast [s]", "speedup", "grid speedup",
+         "bitwise identical"],
         rows,
+    ))
+
+    phase_rows = [
+        [
+            r["workload"],
+            f"{r['phases']['guard_fill']:.3f}",
+            f"{r['phases']['compute_dt']:.3f}",
+            f"{r['phases']['regrid']:.3f}",
+            f"{r['phases']['flux']:.3f}",
+        ]
+        for r in payload["workloads"]
+        if "phases" in r
+    ]
+    print(f"\n=== fast plane: phase breakdown, {payload['mode']} mode ===")
+    print(format_table(
+        ["workload", "guard-fill [s]", "compute_dt [s]", "regrid [s]",
+         "flux [s]"],
+        phase_rows,
     ))
 
     trunc_rows = [
@@ -281,6 +372,14 @@ def main(argv=None) -> int:
         print(
             "WARNING: fewer than two workloads reached the 6x reference "
             "speedup the fused flux pipeline targets", file=sys.stderr,
+        )
+        return 1
+    grid_fast = [r for r in payload["workloads"]
+                 if "phases" in r and r["grid_speedup"] >= 1.5]
+    if payload["mode"] == "full" and not grid_fast:
+        print(
+            "WARNING: no AMR workload reached the 1.5x additional speedup "
+            "the fused grid plane targets over fast-nogrid", file=sys.stderr,
         )
         return 1
     trunc_slow = [r for r in payload["workloads"]

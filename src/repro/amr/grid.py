@@ -22,8 +22,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels.grid import GuardFillPlan
+from ..kernels.scratch import grid_plane_enabled, make_workspace
 from .block import Block, BlockKey
-from .refinement import block_error, lohner_error, prolong, restrict
+from .refinement import (
+    block_error,
+    lohner_error,
+    prolong,
+    restrict,
+    stacked_block_errors,
+)
 
 __all__ = ["AMRGrid", "RegridSummary"]
 
@@ -71,6 +79,13 @@ class AMRGrid:
     reflect_vars:
         For reflecting boundaries: mapping direction ('x' or 'y') to the
         variable whose sign flips across that boundary (normal velocity).
+    fused_grid:
+        Fill guard cells through a precomputed
+        :class:`~repro.kernels.grid.GuardFillPlan` (rebuilt only when the
+        tree topology changes) and run batching-capable regrid estimators
+        over one stacked array — both bit-identical to the per-block
+        Python paths.  ``None`` follows the ``RAPTOR_FAST_NO_GRID``
+        environment switch (default on).
     """
 
     def __init__(
@@ -86,6 +101,7 @@ class AMRGrid:
         ng: int = 3,
         boundary="outflow",
         reflect_vars: Optional[Dict[str, str]] = None,
+        fused_grid: Optional[bool] = None,
     ) -> None:
         if nxb % 2 or nyb % 2:
             raise ValueError("nxb and nyb must be even")
@@ -123,11 +139,25 @@ class AMRGrid:
         self.boundary_y = boundary_y
         self.reflect_vars = reflect_vars or {"x": "velx", "y": "vely"}
 
+        self.fused_grid = grid_plane_enabled() if fused_grid is None else bool(fused_grid)
+        #: bumped on every refine/derefine; the guard-fill plan caches it
+        self._topology_epoch = 0
+        self._guard_plan: Optional[GuardFillPlan] = None
+        self._workspace = make_workspace() if self.fused_grid else None
+
         self.leaves: Dict[BlockKey, Block] = {}
         for ix in range(self.n_root_x):
             for iy in range(self.n_root_y):
                 key = (1, ix, iy)
                 self.leaves[key] = self._new_block(key)
+
+    def __getstate__(self):
+        # the guard-fill plan holds views into the current block arrays;
+        # it is cheap to rebuild and must not cross a pickle boundary
+        # (the Workspace already reduces to a fresh, empty instance)
+        state = self.__dict__.copy()
+        state["_guard_plan"] = None
+        return state
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -274,12 +304,29 @@ class AMRGrid:
         Corners are filled with the nearest interior value; the dimension-by-
         dimension solvers only consume face guard cells, so corners only need
         to hold finite values.
+
+        On the fused grid plane (``fused_grid``) the fill executes a
+        precomputed :class:`~repro.kernels.grid.GuardFillPlan` — the same
+        copies bound once per topology instead of re-deriving neighbours
+        and slices every call; bit-identical because every strip reads
+        interior cells only, so the fill is order independent.
         """
         names = list(variables) if variables is not None else self.variables
+        if self.fused_grid:
+            self._guard_fill_plan().fill(names)
+            return
         for key in self.sorted_keys():
             block = self.leaves[key]
             for name in names:
                 self._fill_block_guards(block, name)
+
+    def _guard_fill_plan(self) -> GuardFillPlan:
+        """The guard-fill plan for the current topology (cached per epoch)."""
+        plan = self._guard_plan
+        if plan is None or plan.epoch != self._topology_epoch:
+            plan = GuardFillPlan(self)
+            self._guard_plan = plan
+        return plan
 
     def _fill_block_guards(self, block: Block, name: str) -> None:
         ng, nxb, nyb = self.ng, self.nxb, self.nyb
@@ -415,6 +462,7 @@ class AMRGrid:
         """Split a leaf into its four children (piecewise-constant prolongation)."""
         if key not in self.leaves:
             raise KeyError(f"{key} is not a leaf")
+        self._topology_epoch += 1
         parent = self.leaves.pop(key)
         children: List[BlockKey] = []
         for child_key in parent.child_keys():
@@ -440,6 +488,7 @@ class AMRGrid:
         ]
         if not all(k in self.leaves for k in child_keys):
             raise KeyError(f"not all children of {parent_key} are leaves")
+        self._topology_epoch += 1
         parent = self._new_block(parent_key)
         for child_key in child_keys:
             child = self.leaves.pop(child_key)
@@ -456,6 +505,29 @@ class AMRGrid:
     def _neighbor_keys_all(self, key: BlockKey) -> List[Tuple[str, object]]:
         return [self.neighbor(key, side) for side in _SIDES]
 
+    def _estimate_errors(self, refine_vars: Sequence[str], estimator) -> Dict[BlockKey, float]:
+        """Per-leaf error map (the estimator pass of :meth:`regrid`).
+
+        On the fused grid plane, estimators that declare
+        ``supports_batching`` run once over a ``(nblocks, nx, ny)`` stack;
+        custom 2-D estimators (and the knob-off path) evaluate per block.
+        Both forms are bit-identical.
+        """
+        keys = self.sorted_keys()
+        if self.fused_grid and getattr(estimator, "supports_batching", False):
+            if self._workspace is not None:
+                # quiescent point: stack shapes change with the leaf count,
+                # so let the workspace drop stale families when over cap
+                self._workspace.trim()
+            values = stacked_block_errors(
+                self.blocks(), refine_vars, estimator=estimator, ws=self._workspace
+            )
+            return {key: float(v) for key, v in zip(keys, values)}
+        return {
+            key: block_error(self.leaves[key], refine_vars, estimator=estimator)
+            for key in keys
+        }
+
     def regrid(
         self,
         refine_vars: Sequence[str],
@@ -470,10 +542,7 @@ class AMRGrid:
         decisions and the operation counts in the paper (Figure 7).
         """
         self.fill_guard_cells(refine_vars)
-        errors = {
-            key: block_error(self.leaves[key], refine_vars, estimator=estimator)
-            for key in self.sorted_keys()
-        }
+        errors = self._estimate_errors(refine_vars, estimator)
 
         refine = {
             key

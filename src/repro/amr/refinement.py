@@ -15,7 +15,14 @@ import numpy as np
 
 from .block import Block
 
-__all__ = ["lohner_error", "gradient_error", "block_error", "prolong", "restrict"]
+__all__ = [
+    "lohner_error",
+    "gradient_error",
+    "block_error",
+    "stacked_block_errors",
+    "prolong",
+    "restrict",
+]
 
 
 def lohner_error(u: np.ndarray, filter_coefficient: float = 0.01) -> np.ndarray:
@@ -37,15 +44,21 @@ def lohner_error(u: np.ndarray, filter_coefficient: float = 0.01) -> np.ndarray:
     filter_coefficient:
         The ``epsilon`` damping constant that filters out ripples; FLASH uses
         0.01 by default.
+
+    The stencil acts on the *trailing two* axes, so a stacked
+    ``(nblocks, nx, ny)`` array is estimated in one shot
+    (``supports_batching``); since the expressions are element-wise over
+    the same values, the stacked form is bit-identical to evaluating each
+    2-D slice separately.
     """
     u = np.asarray(u, dtype=np.float64)
     err = np.zeros_like(u)
-    if u.shape[0] < 3 or u.shape[1] < 3:
+    if u.shape[-2] < 3 or u.shape[-1] < 3:
         return err
 
-    c = u[1:-1, 1:-1]
-    xp, xm = u[2:, 1:-1], u[:-2, 1:-1]
-    yp, ym = u[1:-1, 2:], u[1:-1, :-2]
+    c = u[..., 1:-1, 1:-1]
+    xp, xm = u[..., 2:, 1:-1], u[..., :-2, 1:-1]
+    yp, ym = u[..., 1:-1, 2:], u[..., 1:-1, :-2]
 
     num = (xp - 2 * c + xm) ** 2 + (yp - 2 * c + ym) ** 2
     den = (
@@ -54,22 +67,32 @@ def lohner_error(u: np.ndarray, filter_coefficient: float = 0.01) -> np.ndarray:
     )
     with np.errstate(divide="ignore", invalid="ignore"):
         ratio = np.where(den > 0, num / den, 0.0)
-    err[1:-1, 1:-1] = np.sqrt(ratio)
+    err[..., 1:-1, 1:-1] = np.sqrt(ratio)
     return err
+
+
+lohner_error.supports_batching = True
 
 
 def gradient_error(u: np.ndarray) -> np.ndarray:
-    """Simple normalised-gradient estimator (used by some tests/examples)."""
+    """Simple normalised-gradient estimator (used by some tests/examples).
+
+    Trailing-axes stencil like :func:`lohner_error`, so stacked evaluation
+    is supported and bit-identical to the per-slice form.
+    """
     u = np.asarray(u, dtype=np.float64)
     err = np.zeros_like(u)
-    if u.shape[0] < 3 or u.shape[1] < 3:
+    if u.shape[-2] < 3 or u.shape[-1] < 3:
         return err
-    c = u[1:-1, 1:-1]
-    dx = np.abs(u[2:, 1:-1] - u[:-2, 1:-1])
-    dy = np.abs(u[1:-1, 2:] - u[1:-1, :-2])
+    c = u[..., 1:-1, 1:-1]
+    dx = np.abs(u[..., 2:, 1:-1] - u[..., :-2, 1:-1])
+    dy = np.abs(u[..., 1:-1, 2:] - u[..., 1:-1, :-2])
     scale = np.abs(c) + 1e-30
-    err[1:-1, 1:-1] = 0.5 * (dx + dy) / scale
+    err[..., 1:-1, 1:-1] = 0.5 * (dx + dy) / scale
     return err
+
+
+gradient_error.supports_batching = True
 
 
 def block_error(
@@ -88,6 +111,51 @@ def block_error(
             err = err[ng:-ng, ng:-ng]
         if err.size:
             worst = max(worst, float(np.max(err)))
+    return worst
+
+
+def stacked_block_errors(
+    blocks,
+    variables: Iterable[str],
+    estimator=lohner_error,
+    ws=None,
+) -> np.ndarray:
+    """Per-block :func:`block_error` over a stack of same-shape blocks.
+
+    The fused grid plane's estimator pass: all blocks (every AMR level —
+    they share one cell shape) are copied into a ``(nblocks, nx, ny)``
+    scratch stack and the estimator runs once over the trailing axes.
+    Bit-identical to ``[block_error(b, variables, estimator) for b in
+    blocks]`` (with guards, the default) because the stacked estimator is
+    element-wise equal to the per-slice one and the max reductions are
+    exact.  Only estimators declaring ``supports_batching`` are accepted —
+    a plain 2-D estimator applied to a 3-D stack would silently mix axes.
+    """
+    if not getattr(estimator, "supports_batching", False):
+        raise ValueError(
+            "estimator does not support stacked evaluation; "
+            "evaluate block_error per block instead"
+        )
+    from ..kernels.scratch import out_accessor
+
+    blocks = list(blocks)
+    if not blocks:
+        return np.zeros(0)
+    o = out_accessor(ws)
+    first = blocks[0]
+    ng = first.ng
+    shape = (len(blocks), *first.shape_with_guards)
+    stack = o(("estimator", "stack"), shape)
+    if stack is None:
+        stack = np.empty(shape)
+    worst = np.zeros(len(blocks))
+    for name in variables:
+        for i, block in enumerate(blocks):
+            np.copyto(stack[i], block.data[name])
+        err = estimator(stack)
+        if ng > 0:
+            err = err[:, ng:-ng, ng:-ng]
+        np.maximum(worst, err.max(axis=(1, 2)), out=worst)
     return worst
 
 

@@ -23,8 +23,14 @@ import numpy as np
 from ..amr.grid import AMRGrid
 from ..kernels import FPContext, FullPrecisionContext, ShadowContext
 from ..kernels import flux as fused_flux
+from ..kernels import grid as grid_kernels
 from ..kernels import trunc as trunc_flux
-from ..kernels.scratch import Workspace, batching_enabled, make_workspace
+from ..kernels.scratch import (
+    Workspace,
+    batching_enabled,
+    grid_plane_enabled,
+    make_workspace,
+)
 from .eos import GammaLawEOS
 from .reconstruction import reconstruct
 from .riemann import SOLVERS
@@ -74,6 +80,11 @@ class HydroSolver:
         On the fast plane, stack same-shaped blocks of one AMR level into a
         single batched kernel invocation per substep (bit-identical;
         ``None`` follows ``RAPTOR_FAST_NO_BATCH``, default on).
+    batch_dt:
+        Compute the CFL step as one stacked ``(nblocks, nx, ny)`` reduction
+        (:func:`repro.kernels.grid.compute_dt`) instead of looping blocks
+        (bit-identical; ``None`` follows ``RAPTOR_FAST_NO_GRID``, default
+        on).
     """
 
     def __init__(
@@ -87,6 +98,7 @@ class HydroSolver:
         module: str = "hydro",
         scratch: Optional[bool] = None,
         batch_blocks: Optional[bool] = None,
+        batch_dt: Optional[bool] = None,
     ) -> None:
         if riemann not in SOLVERS:
             raise ValueError(f"unknown riemann solver {riemann!r}")
@@ -100,6 +112,7 @@ class HydroSolver:
         self.gravity = (float(gravity[0]), float(gravity[1]))
         self.module = module
         self.batch_blocks = batching_enabled() if batch_blocks is None else bool(batch_blocks)
+        self.batch_dt = grid_plane_enabled() if batch_dt is None else bool(batch_dt)
         if scratch is None:
             self._workspace: Optional[Workspace] = make_workspace()
         else:
@@ -109,7 +122,20 @@ class HydroSolver:
     # time step (full-precision diagnostic, as in the paper's fixed-dt runs)
     # ------------------------------------------------------------------
     def compute_dt(self, grid: AMRGrid) -> float:
-        """Global CFL time step over all leaf blocks."""
+        """Global CFL time step over all leaf blocks.
+
+        The batched path (``batch_dt``, default) stacks every leaf interior
+        into one ``(nblocks, nx, ny)`` reduction; the per-block loop below
+        is the differential reference.  Both share the fused EOS
+        sound-speed helper of :mod:`repro.kernels.flux` — a single source
+        of truth for the floor/sound-speed math — and are bit-identical.
+        """
+        if self.batch_dt:
+            return grid_kernels.compute_dt(grid, self.eos, self.cfl, ws=self._workspace)
+        return self._compute_dt_per_block(grid)
+
+    def _compute_dt_per_block(self, grid: AMRGrid) -> float:
+        """Per-block CFL reduction (the reference twin of the batched path)."""
         dt = np.inf
         for block in grid.blocks():
             dens = block.interior_view("dens")
@@ -117,7 +143,7 @@ class HydroSolver:
             vely = block.interior_view("vely")
             pres = block.interior_view("pres")
             dens_f, pres_f = self.eos.apply_floors(dens, pres)
-            cs = np.sqrt(self.eos.gamma * pres_f / dens_f)
+            cs = fused_flux.eos_sound_speed(dens_f, pres_f, self.eos.gamma)
             sx = np.max(np.abs(velx) + cs)
             sy = np.max(np.abs(vely) + cs)
             speed = max(sx / block.dx, sy / block.dy, 1e-30)

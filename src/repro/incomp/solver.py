@@ -29,7 +29,8 @@ from ..hydro.reconstruction import _weno5_edge
 from ..kernels import FPContext, FullPrecisionContext, select_context
 from ..kernels.fused import weno5_edge as _fused_weno5_edge
 from ..kernels.trunc import weno5_edge as _trunc_weno5_edge
-from ..kernels.scratch import make_workspace
+from ..kernels.grid import pad_edge
+from ..kernels.scratch import grid_plane_enabled, make_workspace
 from .levelset import LevelSet, circle_level_set
 from .poisson import PoissonSolver
 
@@ -116,16 +117,29 @@ class BubbleSolver:
         # preallocated scratch for the fused WENO5 edge evaluations
         # (bit-identical; dropped on pickle/deepcopy)
         self._workspace = make_workspace()
+        # scratch-buffered edge paddings for the stencil operators
+        # (bit-identical pure copies; RAPTOR_FAST_NO_GRID restores np.pad)
+        self._grid_pad = grid_plane_enabled()
+
+    def _pad(self, f: np.ndarray, n: int, key: str = "f") -> np.ndarray:
+        """Edge-replicated padding of ``f`` by ``n`` cells.
+
+        On the fused grid plane the padding lands in a workspace buffer
+        keyed per call site (``key``), so simultaneously-live paddings
+        (e.g. the two in :meth:`diffusion_term`) never alias; each buffer
+        is only valid until the same site pads again, which the operators
+        satisfy by consuming the padding within one evaluation.
+        """
+        if self._grid_pad:
+            return pad_edge(f, n, ws=self._workspace, key=("pad", key))
+        return np.pad(f, n, mode="edge")
 
     # ------------------------------------------------------------------
     # differential operators (these are the truncation targets)
     # ------------------------------------------------------------------
-    def _pad(self, f: np.ndarray, n: int) -> np.ndarray:
-        return np.pad(f, n, mode="edge")
-
     def _weno5_derivative(self, f: np.ndarray, vel: np.ndarray, spacing: float, axis: int, ctx: FPContext):
         """Upwind-biased WENO5 approximation of d f / d axis."""
-        padded = self._pad(f, 3)
+        padded = self._pad(f, 3, "weno")
 
         def cells(offset):
             sl = [slice(3, -3), slice(3, -3)]
@@ -167,7 +181,7 @@ class BubbleSolver:
         )
 
     def _upwind_derivative(self, f: np.ndarray, vel: np.ndarray, spacing: float, axis: int, ctx: FPContext):
-        padded = self._pad(f, 1)
+        padded = self._pad(f, 1, "upwind")
         sl_c = [slice(1, -1), slice(1, -1)]
         sl_m = list(sl_c)
         sl_p = list(sl_c)
@@ -198,8 +212,8 @@ class BubbleSolver:
     def diffusion_term(self, f: np.ndarray, viscosity: np.ndarray, ctx: FPContext) -> np.ndarray:
         """div(nu grad f) with second-order central differences, through ``ctx``."""
         cfg = self.config
-        fp = self._pad(f, 1)
-        nup = self._pad(viscosity, 1)
+        fp = self._pad(f, 1, "diff_f")
+        nup = self._pad(viscosity, 1, "diff_nu")
 
         def shifted(arr, di, dj):
             return arr[1 + di:arr.shape[0] - 1 + di, 1 + dj:arr.shape[1] - 1 + dj]

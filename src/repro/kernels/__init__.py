@@ -23,6 +23,12 @@ on:
   boundaries the instrumented plane rounds at, bit-identical to the
   optimized op-by-op truncating path.
 
+Alongside the context planes, :mod:`repro.kernels.grid` fuses the
+context-free *grid* side — precomputed guard-fill plans, a batched
+``compute_dt`` and stacked regrid estimators — gated by
+``RAPTOR_FAST_NO_GRID`` (:func:`grid_plane_enabled`); it is plain binary64
+numpy outside any context, so instrumented counters stay byte-identical.
+
 Plane selection (:func:`select_context`) is applied centrally by
 :class:`~repro.core.selective.TruncationPolicy`, so every workload honours
 ``plane="instrumented" | "fast" | "auto"`` without solver changes; the
@@ -35,7 +41,7 @@ consume, so kernel code depends on ``repro.kernels`` alone.
 """
 from ..core.memmode import ShadowContext
 from ..core.opmode import FPContext, FullPrecisionContext, TruncatedContext, make_context
-from . import flux, fused, scratch, trunc
+from . import flux, fused, grid, scratch, trunc
 from .dispatch import (
     DEFAULT_PLANE,
     PLANES,
@@ -46,7 +52,13 @@ from .dispatch import (
     validate_plane,
 )
 from .fast import FastPlaneContext
-from .scratch import Workspace, batching_enabled, make_workspace, scratch_enabled
+from .scratch import (
+    Workspace,
+    batching_enabled,
+    grid_plane_enabled,
+    make_workspace,
+    scratch_enabled,
+)
 from .trunc import TruncFastPlaneContext
 
 __all__ = [
@@ -61,6 +73,7 @@ __all__ = [
     "TruncFastPlaneContext",
     "fused",
     "flux",
+    "grid",
     "trunc",
     # scratch workspaces
     "scratch",
@@ -68,6 +81,7 @@ __all__ = [
     "make_workspace",
     "scratch_enabled",
     "batching_enabled",
+    "grid_plane_enabled",
     # plane selection
     "PLANES",
     "DEFAULT_PLANE",

@@ -1,0 +1,332 @@
+"""Fused grid plane: batched twins of the grid-side hot loops.
+
+PRs 4–6 fused the flux pipeline, which leaves fast-plane runs dominated by
+the *grid* side: guard-cell filling walks every leaf x side x variable in
+Python re-deriving the tree topology each call, ``compute_dt`` loops blocks
+with fresh temporaries, and the regrid estimators evaluate per block.  This
+module provides their fused twins:
+
+* :class:`GuardFillPlan` — a precomputed guard-fill schedule for one AMR
+  topology.  Neighbour lookup, boundary classification and all slice
+  arithmetic happen once per topology (the plan is rebuilt only when the
+  tree changes, tracked by ``AMRGrid._topology_epoch``); executing the plan
+  is a flat list of direct array copies.  Every guard strip reads only
+  *interior* cells of its source block (verified per neighbour kind below)
+  and guard filling never writes interiors, so the fill is order-independent
+  and the plan is bit-identical to the per-block reference loop by
+  construction — the copies move exactly the same values.
+
+* :func:`compute_dt` — the CFL reduction over all leaves stacked into one
+  ``(nblocks, nx, ny)`` kernel invocation, reusing the fused EOS sound-speed
+  helper of :mod:`repro.kernels.flux` (all blocks share one cell shape, so
+  the stack spans refinement levels).  ``dx``/``dy`` are applied per block
+  — block-bounds arithmetic can make them differ in the last bit even
+  within one level — and the max/min reductions are exact (order
+  independent), so the batched reduction matches the per-block loop
+  bitwise.
+
+* :func:`pad_edge` — a scratch-buffered twin of ``np.pad(f, n,
+  mode="edge")`` for the bubble solver's stencil paddings.
+
+The stacked refinement estimators live next to the estimators themselves in
+:mod:`repro.amr.refinement` (``stacked_block_errors``).  All of this is
+plain binary64 numpy outside any numerics context, so it is safe on every
+kernel plane and leaves instrumented counters byte-identical.  The
+``RAPTOR_FAST_NO_GRID`` environment switch
+(:func:`repro.kernels.scratch.grid_plane_enabled`) restores the per-block
+reference paths for benchmarking and differential testing.
+"""
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from . import flux
+from .scratch import out_accessor
+
+__all__ = ["GuardFillPlan", "compute_dt", "pad_edge"]
+
+_SIDES = ("-x", "+x", "-y", "+y")
+
+
+def _fill_corners(data: np.ndarray, ng: int, nxe: int, nye: int) -> None:
+    """Corner guard regions take the nearest interior value (the solvers
+    only consume face guards; corners merely need to be finite)."""
+    data[0:ng, 0:ng] = data[ng, ng]
+    data[0:ng, nye:] = data[ng, nye - 1]
+    data[nxe:, 0:ng] = data[nxe - 1, ng]
+    data[nxe:, nye:] = data[nxe - 1, nye - 1]
+
+
+def _prolong_strip(dst: np.ndarray, patch: np.ndarray, sub, prolong) -> None:
+    """Coarse-neighbour strip: prolong the coarse patch, keep the face-side
+    ``ng`` rows/columns (``sub``)."""
+    np.copyto(dst, prolong(patch)[sub])
+
+
+def _restrict_strip(dst: np.ndarray, pl: np.ndarray, ph: np.ndarray,
+                    axis: int, restrict) -> None:
+    """Fine-neighbour strip: restrict the two fine patches into the lower /
+    upper half of the strip along the transverse ``axis``."""
+    half = dst.shape[axis] // 2
+    if axis == 1:
+        np.copyto(dst[:, :half], restrict(pl))
+        np.copyto(dst[:, half:], restrict(ph))
+    else:
+        np.copyto(dst[:half, :], restrict(pl))
+        np.copyto(dst[half:, :], restrict(ph))
+
+
+class GuardFillPlan:
+    """Precomputed guard-fill schedule for one AMR topology.
+
+    Built from a grid's current leaf set; holds, per variable, a flat list
+    of zero-argument operations (bound to views of the live block arrays)
+    that together fill every guard cell of every leaf:
+
+    * ``same``      — one ``np.copyto`` from the neighbour's interior edge;
+    * ``boundary``  — outflow: broadcast-copy of the interior edge row/
+      column; reflect: copy (or ``np.negative`` for the flipped normal
+      velocity) of the reversed interior edge view;
+    * ``coarse``    — prolong a coarse interior patch, copy the face side;
+    * ``fine``      — restrict two fine interior patches into the strip
+      halves;
+    * corners       — nearest interior value.
+
+    Because every operation *reads* interior cells only and *writes* guard
+    cells only, the operations commute and the plan reproduces the
+    reference per-block fill bitwise in any execution order.  Block arrays
+    are allocated once and mutated in place, so the captured views stay
+    valid until the tree topology changes — the owning grid compares
+    :attr:`epoch` against its ``_topology_epoch`` and rebuilds the plan
+    after any refine/derefine.
+    """
+
+    __slots__ = ("epoch", "n_blocks", "kind_counts", "_ops")
+
+    def __init__(self, grid) -> None:
+        # imported lazily so repro.kernels never depends on repro.amr at
+        # import time (the amr package imports this module)
+        from ..amr.refinement import prolong, restrict
+
+        ng, nxb, nyb = grid.ng, grid.nxb, grid.nyb
+        self.epoch = grid._topology_epoch
+        keys = grid.sorted_keys()
+        self.n_blocks = len(keys)
+        self.kind_counts = {"boundary": 0, "same": 0, "coarse": 0, "fine": 0}
+        ops: Dict[str, List] = {name: [] for name in grid.variables}
+
+        dst_slices = {
+            "-x": (slice(0, ng), slice(ng, ng + nyb)),
+            "+x": (slice(ng + nxb, None), slice(ng, ng + nyb)),
+            "-y": (slice(ng, ng + nxb), slice(0, ng)),
+            "+y": (slice(ng, ng + nxb), slice(ng + nyb, None)),
+        }
+
+        for key in keys:
+            block = grid.leaves[key]
+            for side in _SIDES:
+                kind, info = grid.neighbor(key, side)
+                self.kind_counts[kind] += 1
+                for name in grid.variables:
+                    dst = block.data[name][dst_slices[side]]
+                    ops[name].append(self._strip_op(
+                        grid, block, name, side, kind, info, dst,
+                        prolong, restrict,
+                    ))
+            nxe, nye = ng + nxb, ng + nyb
+            for name in grid.variables:
+                ops[name].append(partial(_fill_corners, block.data[name], ng, nxe, nye))
+        self._ops = ops
+
+    @staticmethod
+    def _strip_op(grid, block, name, side, kind, info, dst, prolong, restrict):
+        """One side strip as a bound zero-argument operation.
+
+        The source slices below mirror ``AMRGrid._neighbor_strip`` /
+        ``_boundary_strip`` / ``_coarse_strip`` / ``_fine_strip`` exactly.
+        """
+        ng, nxb, nyb = grid.ng, grid.nxb, grid.nyb
+        data = block.data[name]
+
+        if kind == "same":
+            src = grid.leaves[info].data[name]
+            if side == "-x":
+                view = src[nxb:nxb + ng, ng:ng + nyb]
+            elif side == "+x":
+                view = src[ng:2 * ng, ng:ng + nyb]
+            elif side == "-y":
+                view = src[ng:ng + nxb, nyb:nyb + ng]
+            else:
+                view = src[ng:ng + nxb, ng:2 * ng]
+            return partial(np.copyto, dst, view)
+
+        if kind == "boundary":
+            axis = "x" if side in ("-x", "+x") else "y"
+            bkind = grid.boundary_x if axis == "x" else grid.boundary_y
+            if bkind == "outflow":
+                if side == "-x":
+                    edge = data[ng:ng + 1, ng:ng + nyb]
+                elif side == "+x":
+                    edge = data[ng + nxb - 1:ng + nxb, ng:ng + nyb]
+                elif side == "-y":
+                    edge = data[ng:ng + nxb, ng:ng + 1]
+                else:
+                    edge = data[ng:ng + nxb, ng + nyb - 1:ng + nyb]
+                return partial(np.copyto, dst, edge)  # broadcasts across ng
+            # reflect: mirrored interior edge, sign-flipped for the normal
+            # velocity of this axis
+            if side == "-x":
+                view = data[ng:2 * ng, ng:ng + nyb][::-1, :]
+            elif side == "+x":
+                view = data[nxb:nxb + ng, ng:ng + nyb][::-1, :]
+            elif side == "-y":
+                view = data[ng:ng + nxb, ng:2 * ng][:, ::-1]
+            else:
+                view = data[ng:ng + nxb, nyb:nyb + ng][:, ::-1]
+            if name == grid.reflect_vars.get(axis):
+                return partial(np.negative, view, dst)
+            return partial(np.copyto, dst, view)
+
+        if kind == "coarse":
+            src = grid.leaves[info].data[name]
+            ngc = (ng + 1) // 2  # coarse cells covering ng fine cells
+            _, ix, iy = block.key
+            if side in ("-x", "+x"):
+                j0 = ng + (iy % 2) * (nyb // 2)
+                if side == "-x":
+                    patch = src[ng + nxb - ngc:ng + nxb, j0:j0 + nyb // 2]
+                    sub = (slice(-ng, None), slice(None))
+                else:
+                    patch = src[ng:ng + ngc, j0:j0 + nyb // 2]
+                    sub = (slice(None, ng), slice(None))
+            else:
+                i0 = ng + (ix % 2) * (nxb // 2)
+                if side == "-y":
+                    patch = src[i0:i0 + nxb // 2, ng + nyb - ngc:ng + nyb]
+                    sub = (slice(None), slice(-ng, None))
+                else:
+                    patch = src[i0:i0 + nxb // 2, ng:ng + ngc]
+                    sub = (slice(None), slice(None, ng))
+            return partial(_prolong_strip, dst, patch, sub, prolong)
+
+        # fine: two finer neighbours, ordered along the transverse direction
+        lo_key, hi_key = sorted(info, key=lambda k: (k[2], k[1]))
+        lo = grid.leaves[lo_key].data[name]
+        hi = grid.leaves[hi_key].data[name]
+        if side == "-x":
+            pl = lo[ng + nxb - 2 * ng:ng + nxb, ng:ng + nyb]
+            ph = hi[ng + nxb - 2 * ng:ng + nxb, ng:ng + nyb]
+        elif side == "+x":
+            pl = lo[ng:3 * ng, ng:ng + nyb]
+            ph = hi[ng:3 * ng, ng:ng + nyb]
+        elif side == "-y":
+            pl = lo[ng:ng + nxb, ng + nyb - 2 * ng:ng + nyb]
+            ph = hi[ng:ng + nxb, ng + nyb - 2 * ng:ng + nyb]
+        else:
+            pl = lo[ng:ng + nxb, ng:3 * ng]
+            ph = hi[ng:ng + nxb, ng:3 * ng]
+        axis = 1 if side in ("-x", "+x") else 0
+        return partial(_restrict_strip, dst, pl, ph, axis, restrict)
+
+    # ------------------------------------------------------------------
+    def fill(self, names: Sequence[str]) -> None:
+        """Fill every guard cell of every leaf for ``names``."""
+        ops = self._ops
+        for name in names:
+            for op in ops[name]:
+                op()
+
+    @property
+    def n_ops(self) -> int:
+        """Total operations across all variables (diagnostic)."""
+        return sum(len(v) for v in self._ops.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GuardFillPlan(epoch={self.epoch}, blocks={self.n_blocks}, "
+            f"ops={self.n_ops}, kinds={self.kind_counts})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# batched CFL time step
+# ---------------------------------------------------------------------------
+def compute_dt(grid, eos, cfl: float, ws=None) -> float:
+    """Global CFL time step over all leaves, as one stacked reduction.
+
+    Bit-identical to the per-block reference loop
+    (``HydroSolver._compute_dt_per_block``): the floors, the fused
+    sound-speed expression (``flux.eos_sound_speed``) and the ``|v| + c``
+    combination are the same ufunc sequences applied to the same values,
+    ``dx``/``dy`` divide per block (they may differ in the last bit even
+    within a level), and the max/min reductions are exact, hence order
+    independent.
+    """
+    keys = grid.sorted_keys()
+    n = len(keys)
+    o = out_accessor(ws)
+    shape = (n, grid.nxb, grid.nyb)
+
+    def buf(name, shp=shape):
+        b = o(("dt", name), shp)
+        return b if b is not None else np.empty(shp)
+
+    dens = buf("dens")
+    velx = buf("velx")
+    vely = buf("vely")
+    pres = buf("pres")
+    dxs = buf("dxs", (n,))
+    dys = buf("dys", (n,))
+    for i, key in enumerate(keys):
+        block = grid.leaves[key]
+        np.copyto(dens[i], block.interior_view("dens"))
+        np.copyto(velx[i], block.interior_view("velx"))
+        np.copyto(vely[i], block.interior_view("vely"))
+        np.copyto(pres[i], block.interior_view("pres"))
+        dxs[i] = block.dx
+        dys[i] = block.dy
+
+    dens_f = np.maximum(dens, eos.density_floor, out=dens)
+    pres_f = np.maximum(pres, eos.pressure_floor, out=pres)
+    cs = flux.eos_sound_speed(dens_f, pres_f, eos.gamma, ws, ("dt", "cs"))
+    ax = np.abs(velx, out=velx)
+    np.add(ax, cs, out=ax)
+    ay = np.abs(vely, out=vely)
+    np.add(ay, cs, out=ay)
+    sx = np.max(ax, axis=(1, 2), out=buf("sx", (n,)))
+    sy = np.max(ay, axis=(1, 2), out=buf("sy", (n,)))
+    np.divide(sx, dxs, out=sx)
+    np.divide(sy, dys, out=sy)
+    speed = np.maximum(sx, sy, out=sx)
+    np.maximum(speed, 1e-30, out=speed)
+    np.divide(1.0, speed, out=speed)
+    return cfl * float(np.min(speed))
+
+
+# ---------------------------------------------------------------------------
+# edge padding (bubble-solver stencils)
+# ---------------------------------------------------------------------------
+def pad_edge(f: np.ndarray, n: int, ws=None, key=("pad",)) -> np.ndarray:
+    """Scratch-buffered twin of ``np.pad(f, n, mode="edge")`` (2-D).
+
+    Pure copies, so the result is bitwise identical to ``np.pad``.  The
+    returned array is a workspace buffer when ``ws`` is given: it stays
+    valid only until the next ``pad_edge`` call with the same ``key`` (the
+    solver stencils consume the padding within one operator evaluation, and
+    simultaneously-live paddings use distinct keys).
+    """
+    f = np.asarray(f)
+    nx, ny = f.shape
+    o = out_accessor(ws)
+    out = o(key, (nx + 2 * n, ny + 2 * n), f.dtype)
+    if out is None:
+        out = np.empty((nx + 2 * n, ny + 2 * n), dtype=f.dtype)
+    np.copyto(out[n:n + nx, n:n + ny], f)
+    out[:n, n:n + ny] = f[0:1, :]
+    out[n + nx:, n:n + ny] = f[nx - 1:nx, :]
+    out[:, :n] = out[:, n:n + 1]
+    out[:, n + ny:] = out[:, n + ny - 1:n + ny]
+    return out

@@ -30,7 +30,11 @@ debugging, the results are bit-identical either way):
   buffers (every temporary freshly allocated, as before PR 5);
 * ``RAPTOR_FAST_NO_BATCH=1`` — the hydro solver advances AMR blocks one at
   a time instead of stacking same-shaped blocks into one batched kernel
-  invocation per level.
+  invocation per level;
+* ``RAPTOR_FAST_NO_GRID=1`` — the fused grid plane (:mod:`repro.kernels.
+  grid`: precomputed guard-fill plans, batched ``compute_dt``, stacked
+  regrid estimators, scratch-buffered bubble paddings) is disabled and the
+  per-block Python reference paths run instead.
 """
 from __future__ import annotations
 
@@ -45,6 +49,7 @@ __all__ = [
     "out_accessor",
     "scratch_enabled",
     "batching_enabled",
+    "grid_plane_enabled",
     "make_workspace",
 ]
 
@@ -66,6 +71,13 @@ def scratch_enabled() -> bool:
 def batching_enabled() -> bool:
     """Whether the hydro solver may batch same-shaped blocks per substep."""
     return not _env_truthy(os.environ.get("RAPTOR_FAST_NO_BATCH"))
+
+
+def grid_plane_enabled() -> bool:
+    """Whether the fused grid plane (guard-fill plans, batched dt, stacked
+    estimators) is active.  The grid side is context-free plain numpy, so
+    the switch is bit-neutral on every kernel plane."""
+    return not _env_truthy(os.environ.get("RAPTOR_FAST_NO_GRID"))
 
 
 def make_workspace() -> Optional["Workspace"]:

@@ -12,7 +12,12 @@ are enabled — and diffs it against the instrumented plane the same way.
 A third pass repeats both golden configurations as *truncated* (e8m10,
 non-counting) runs: the instrumented op-by-op ``TruncatedContext`` path
 vs the fused truncating plane (``repro.kernels.trunc``), which quantizes
-at the same op boundaries and must match bitwise too.
+at the same op boundaries and must match bitwise too.  A fourth pass
+drives a regrid-heavy Kelvin–Helmholtz configuration (``max_level=3``,
+regrid every step, so guard-fill plans are rebuilt constantly and
+coarse/fine strips stay hot) through the fused *grid* plane — batched
+guard fills, batched ``compute_dt`` and stacked refinement estimators —
+and diffs it against a run with ``RAPTOR_FAST_NO_GRID`` set.
 
     PYTHONPATH=src python tools/check_plane_equivalence.py
 """
@@ -33,6 +38,14 @@ GOLDEN_CONFIGS = {
         t_end=0.02, rk_stages=1, reconstruction="weno5",
     ),
 }
+
+#: regrid-heavy golden pass for the fused grid plane: regrid every step so
+#: guard-fill plans are invalidated and rebuilt constantly, deep enough
+#: that coarse/fine guard strips are exercised throughout
+GRID_GOLDEN = dict(
+    nxb=8, nyb=8, n_root_x=2, n_root_y=2, max_level=3,
+    t_end=0.01, rk_stages=1, regrid_interval=1,
+)
 
 
 def _diff_planes(name: str, config: dict) -> list:
@@ -83,13 +96,61 @@ def _diff_trunc_planes(name: str, config: dict) -> list:
     return failures
 
 
-def main() -> int:
-    from repro.kernels.scratch import batching_enabled, scratch_enabled
+def _diff_grid_plane() -> list:
+    """Regrid-heavy KH run: fused grid plane vs per-block grid paths."""
+    import os
 
-    if not (scratch_enabled() and batching_enabled()):
+    from repro.workloads import create_workload
+
+    fused = create_workload("kelvin-helmholtz", **GRID_GOLDEN).reference(plane="fast")
+    os.environ["RAPTOR_FAST_NO_GRID"] = "1"
+    try:
+        reference = create_workload("kelvin-helmholtz", **GRID_GOLDEN).reference(
+            plane="fast"
+        )
+    finally:
+        del os.environ["RAPTOR_FAST_NO_GRID"]
+
+    failures = []
+    if fused.info["finest_level"] < 2:
+        failures.append(
+            "kelvin-helmholtz (grid plane): run never refined past level "
+            f"{fused.info['finest_level']:.0f} — coarse/fine guard strips "
+            "were not exercised"
+        )
+    if fused.info != reference.info:
+        failures.append(
+            "kelvin-helmholtz (grid plane): run summaries differ: "
+            f"{fused.info} vs {reference.info}"
+        )
+    if fused.time != reference.time:
+        failures.append(
+            f"kelvin-helmholtz (grid plane): final time differs: "
+            f"{fused.time} vs {reference.time}"
+        )
+    for var in sorted(fused.state):
+        a, b = fused.state[var], reference.state[var]
+        if not np.array_equal(a, b):
+            diverged = int(np.sum(a != b))
+            failures.append(
+                f"kelvin-helmholtz (grid plane): variable {var!r}: "
+                f"{diverged}/{a.size} cells differ"
+            )
+    return failures
+
+
+def main() -> int:
+    from repro.kernels.scratch import (
+        batching_enabled,
+        grid_plane_enabled,
+        scratch_enabled,
+    )
+
+    if not (scratch_enabled() and batching_enabled() and grid_plane_enabled()):
         print(
-            "FAIL: RAPTOR_FAST_NO_SCRATCH / RAPTOR_FAST_NO_BATCH are set — "
-            "this check must exercise the scratch + batched fast plane"
+            "FAIL: RAPTOR_FAST_NO_SCRATCH / RAPTOR_FAST_NO_BATCH / "
+            "RAPTOR_FAST_NO_GRID are set — this check must exercise the "
+            "scratch + batched + fused-grid fast plane"
         )
         return 1
 
@@ -97,6 +158,7 @@ def main() -> int:
     for name, config in GOLDEN_CONFIGS.items():
         failures.extend(_diff_planes(name, config))
         failures.extend(_diff_trunc_planes(name, config))
+    failures.extend(_diff_grid_plane())
 
     if failures:
         print("FAIL: fast plane is not bit-identical to the instrumented plane")
@@ -107,7 +169,8 @@ def main() -> int:
     print(
         "OK: golden Sod (PLM) and Sedov (WENO5, fused flux + scratch + "
         "batched) bitwise identical on both planes, full-precision and "
-        "truncated (e8m10)"
+        "truncated (e8m10); regrid-heavy KH bitwise identical with the "
+        "fused grid plane on and off"
     )
     return 0
 
