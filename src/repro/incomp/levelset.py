@@ -21,8 +21,48 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..core.opmode import FPContext, FullPrecisionContext
+from ..kernels import bubble as kbubble
 
-__all__ = ["LevelSet", "circle_level_set", "interface_level_map"]
+__all__ = ["LevelSet", "circle_level_set", "interface_level_map", "upwind_derivative"]
+
+
+def upwind_derivative(
+    f,
+    velocity,
+    spacing: float,
+    axis: int,
+    ctx: FPContext,
+    boundary: str = "wrap",
+    padded: Optional[np.ndarray] = None,
+):
+    """First-order upwind derivative of ``f`` along ``axis`` chosen by the
+    sign of ``velocity`` — the single op-by-op implementation shared by the
+    level-set transport (``boundary="wrap"``: periodic ``np.roll``
+    neighbours) and the momentum stencil of the bubble solver
+    (``boundary="edge"``: neighbours sliced from a caller-supplied
+    edge padding of ``f``).
+
+    Forward and backward differences are independent single-op
+    computations, so the boundary mode is the *only* bitwise difference
+    between the two historical call sites.
+    """
+    if boundary == "edge":
+        sl_m = [slice(1, -1), slice(1, -1)]
+        sl_p = [slice(1, -1), slice(1, -1)]
+        sl_m[axis] = slice(0, -2)
+        sl_p[axis] = slice(2, None)
+        fm = padded[tuple(sl_m)]
+        fp = padded[tuple(sl_p)]
+    elif boundary == "wrap":
+        plain = ctx.asplain(f)
+        fm = np.roll(plain, 1, axis)
+        fp = np.roll(plain, -1, axis)
+    else:
+        raise ValueError(f"unknown boundary mode {boundary!r}")
+    inv = ctx.const(1.0 / spacing)
+    bwd = ctx.mul(ctx.sub(f, fm, "adv:bwd_diff"), inv, "adv:bwd")
+    fwd = ctx.mul(ctx.sub(fp, f, "adv:fwd_diff"), inv, "adv:fwd")
+    return ctx.where(ctx.asplain(velocity) > 0.0, bwd, fwd)
 
 
 def circle_level_set(x: np.ndarray, y: np.ndarray, center: Tuple[float, float], radius: float) -> np.ndarray:
@@ -48,7 +88,13 @@ def interface_level_map(phi: np.ndarray, dx: float, max_level: int, band_cells: 
 
 
 class LevelSet:
-    """A level-set field on a uniform collocated grid."""
+    """A level-set field on a uniform collocated grid.
+
+    Standalone instances run the reference op-by-op / plain-numpy paths;
+    the bubble solver opts its instance onto the fused bubble plane via
+    :meth:`enable_fused`, which swaps every operator for its
+    scratch-buffered bit-identical twin from :mod:`repro.kernels.bubble`.
+    """
 
     def __init__(
         self,
@@ -61,6 +107,16 @@ class LevelSet:
         self.dx = float(dx)
         self.dy = float(dy)
         self.eps = smoothing_cells * max(dx, dy)
+        self._fused = False
+        self._ws = None
+
+    def enable_fused(self, ws=None) -> "LevelSet":
+        """Route this instance's operators through the fused twins of
+        :mod:`repro.kernels.bubble` (bit-identical; ``ws`` is the owning
+        solver's scratch :class:`~repro.kernels.scratch.Workspace`)."""
+        self._fused = True
+        self._ws = ws
+        return self
 
     # ------------------------------------------------------------------
     # phase indicators and material properties
@@ -68,22 +124,34 @@ class LevelSet:
     def heaviside(self, phi: Optional[np.ndarray] = None) -> np.ndarray:
         """Smoothed Heaviside H(phi): 1 in the gas, 0 in the liquid."""
         p = self.phi if phi is None else phi
+        if self._fused:
+            return kbubble.heaviside(p, self.eps, ws=self._ws, key=("ls", "hv"))
         h = 0.5 * (1.0 + p / self.eps + np.sin(np.pi * p / self.eps) / np.pi)
         return np.clip(np.where(p > self.eps, 1.0, np.where(p < -self.eps, 0.0, h)), 0.0, 1.0)
 
     def delta(self, phi: Optional[np.ndarray] = None) -> np.ndarray:
         """Smoothed interface delta function."""
         p = self.phi if phi is None else phi
+        if self._fused:
+            return kbubble.delta(p, self.eps, ws=self._ws, key=("ls", "dl"))
         d = 0.5 / self.eps * (1.0 + np.cos(np.pi * p / self.eps))
         return np.where(np.abs(p) <= self.eps, d, 0.0)
 
     def density(self, rho_liquid: float, rho_gas: float) -> np.ndarray:
         """Phase-weighted density field."""
+        if self._fused:
+            return kbubble.material_field(
+                self.phi, self.eps, rho_liquid, rho_gas, ws=self._ws, key=("ls", "rho")
+            )
         h = self.heaviside()
         return rho_liquid + (rho_gas - rho_liquid) * h
 
     def viscosity(self, mu_liquid: float, mu_gas: float) -> np.ndarray:
         """Phase-weighted dynamic viscosity field."""
+        if self._fused:
+            return kbubble.material_field(
+                self.phi, self.eps, mu_liquid, mu_gas, ws=self._ws, key=("ls", "mu")
+            )
         h = self.heaviside()
         return mu_liquid + (mu_gas - mu_liquid) * h
 
@@ -98,6 +166,8 @@ class LevelSet:
 
     def curvature(self) -> np.ndarray:
         """Interface curvature kappa = div(grad phi / |grad phi|) (central differences)."""
+        if self._fused:
+            return kbubble.curvature(self.phi, self.dx, self.dy, ws=self._ws, key=("ls", "curv"))
         phi = self.phi
         px = (np.roll(phi, -1, 0) - np.roll(phi, 1, 0)) / (2 * self.dx)
         py = (np.roll(phi, -1, 1) - np.roll(phi, 1, 1)) / (2 * self.dy)
@@ -116,11 +186,9 @@ class LevelSet:
         """First-order upwind derivative of phi along ``axis`` chosen by the
         sign of ``velocity`` (robust, monotone; the WENO5 machinery of the
         hydro solver is reused for the momentum advection instead, where the
-        higher order matters more for the truncation study)."""
-        inv = ctx.const(1.0 / spacing)
-        fwd = ctx.mul(ctx.sub(np.roll(ctx.asplain(phi), -1, axis), phi, "adv:fwd_diff"), inv, "adv:fwd")
-        bwd = ctx.mul(ctx.sub(phi, np.roll(ctx.asplain(phi), 1, axis), "adv:bwd_diff"), inv, "adv:bwd")
-        return ctx.where(ctx.asplain(velocity) > 0.0, bwd, fwd)
+        higher order matters more for the truncation study).  Delegates to
+        the shared :func:`upwind_derivative` in its periodic-wrap mode."""
+        return upwind_derivative(phi, velocity, spacing, axis, ctx, boundary="wrap")
 
     def advect(
         self,
@@ -131,6 +199,17 @@ class LevelSet:
     ) -> None:
         """Advance phi by one advection step ``phi_t + u . grad(phi) = 0``."""
         ctx = ctx or FullPrecisionContext(count_ops=False, track_memory=False)
+        if self._fused and ctx.fused:
+            self.phi = kbubble.levelset_advect(
+                self.phi, velx, vely, dt, self.dx, self.dy, ws=self._ws, key=("ls", "adv")
+            )
+            return
+        if self._fused and ctx.fused_trunc:
+            self.phi = kbubble.levelset_advect_trunc(
+                self.phi, velx, vely, dt, self.dx, self.dy, ws=self._ws,
+                key=("ls", "adv"), fmt=ctx.fmt, rounding=ctx.rounding,
+            )
+            return
         phi = ctx.const(self.phi)
         dpx = self._upwind_derivative(phi, velx, self.dx, 0, ctx)
         dpy = self._upwind_derivative(phi, vely, self.dy, 1, ctx)
@@ -148,6 +227,11 @@ class LevelSet:
     def reinitialize(self, iterations: int = 10, cfl: float = 0.3) -> None:
         """Restore the signed-distance property with the standard
         Sussman-style PDE reinitialisation ``phi_tau = S(phi0)(1 - |grad phi|)``."""
+        if self._fused:
+            self.phi = kbubble.reinitialize(
+                self.phi, self.dx, self.dy, iterations, cfl, ws=self._ws, key=("ls", "reinit")
+            )
+            return
         phi0 = self.phi.copy()
         sgn = phi0 / np.sqrt(phi0 ** 2 + max(self.dx, self.dy) ** 2)
         dtau = cfl * min(self.dx, self.dy)

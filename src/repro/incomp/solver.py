@@ -27,11 +27,12 @@ import numpy as np
 
 from ..hydro.reconstruction import _weno5_edge
 from ..kernels import FPContext, FullPrecisionContext, select_context
+from ..kernels import bubble as kbubble
 from ..kernels.fused import weno5_edge as _fused_weno5_edge
 from ..kernels.trunc import weno5_edge as _trunc_weno5_edge
 from ..kernels.grid import pad_edge
-from ..kernels.scratch import grid_plane_enabled, make_workspace
-from .levelset import LevelSet, circle_level_set
+from ..kernels.scratch import bubble_plane_enabled, grid_plane_enabled, make_workspace
+from .levelset import LevelSet, circle_level_set, upwind_derivative
 from .poisson import PoissonSolver
 
 __all__ = ["BubbleConfig", "BubbleSolver"]
@@ -120,6 +121,14 @@ class BubbleSolver:
         # scratch-buffered edge paddings for the stencil operators
         # (bit-identical pure copies; RAPTOR_FAST_NO_GRID restores np.pad)
         self._grid_pad = grid_plane_enabled()
+        # the fused bubble plane: whole-operator twins from
+        # repro.kernels.bubble replace the op-by-op paths — context-bearing
+        # operators only for fused contexts, context-free glue (forces,
+        # projection, reinit, material fields) on every plane
+        # (bit-identical; RAPTOR_FAST_NO_BUBBLE restores the classic paths)
+        self._fused_bubble = bubble_plane_enabled()
+        if self._fused_bubble:
+            self.levelset.enable_fused(self._workspace)
 
     def _pad(self, f: np.ndarray, n: int, key: str = "f") -> np.ndarray:
         """Edge-replicated padding of ``f`` by ``n`` cells.
@@ -137,9 +146,26 @@ class BubbleSolver:
     # ------------------------------------------------------------------
     # differential operators (these are the truncation targets)
     # ------------------------------------------------------------------
-    def _weno5_derivative(self, f: np.ndarray, vel: np.ndarray, spacing: float, axis: int, ctx: FPContext):
-        """Upwind-biased WENO5 approximation of d f / d axis."""
+    def _weno5_derivative(self, f: np.ndarray, vel: np.ndarray, spacing: float, axis: int, ctx: FPContext, which: str = "f"):
+        """Upwind-biased WENO5 approximation of d f / d axis.
+
+        ``which`` namespaces the scratch keys per call site (the u- and
+        v-momentum derivatives are simultaneously live in :meth:`step`).
+        On the fused bubble plane fused contexts run the whole-operator
+        twins of :mod:`repro.kernels.bubble`; otherwise only the edge
+        reconstruction is fused and the selection/difference ops go through
+        ``ctx`` (which keeps instrumented counters byte-identical).
+        """
         padded = self._pad(f, 3, "weno")
+        if self._fused_bubble and ctx.fused:
+            return kbubble.weno5_derivative(
+                padded, vel, spacing, axis, ws=self._workspace, key=("adv", which, axis)
+            )
+        if self._fused_bubble and ctx.fused_trunc:
+            return kbubble.weno5_derivative_trunc(
+                padded, vel, spacing, axis, ws=self._workspace, key=("adv", which, axis),
+                fmt=ctx.fmt, rounding=ctx.rounding,
+            )
 
         def cells(offset):
             sl = [slice(3, -3), slice(3, -3)]
@@ -180,28 +206,68 @@ class BubbleSolver:
             "adv:weno_deriv",
         )
 
-    def _upwind_derivative(self, f: np.ndarray, vel: np.ndarray, spacing: float, axis: int, ctx: FPContext):
+    def _upwind_derivative(self, f: np.ndarray, vel: np.ndarray, spacing: float, axis: int, ctx: FPContext, which: str = "f"):
         padded = self._pad(f, 1, "upwind")
-        sl_c = [slice(1, -1), slice(1, -1)]
-        sl_m = list(sl_c)
-        sl_p = list(sl_c)
-        sl_m[axis] = slice(0, -2)
-        sl_p[axis] = slice(2, None)
-        fm, fp = padded[tuple(sl_m)], padded[tuple(sl_p)]
-        inv = ctx.const(1.0 / spacing)
-        bwd = ctx.mul(ctx.sub(f, fm, "adv:bwd_diff"), inv, "adv:bwd")
-        fwd = ctx.mul(ctx.sub(fp, f, "adv:fwd_diff"), inv, "adv:fwd")
-        return ctx.where(ctx.asplain(vel) > 0.0, bwd, fwd)
+        if self._fused_bubble and ctx.fused:
+            return kbubble.upwind_derivative(
+                f, vel, spacing, axis, "edge", padded,
+                ws=self._workspace, key=("uadv", which, axis),
+            )
+        if self._fused_bubble and ctx.fused_trunc:
+            return kbubble.upwind_derivative_trunc(
+                f, vel, spacing, axis, "edge", padded,
+                ws=self._workspace, key=("uadv", which, axis),
+                fmt=ctx.fmt, rounding=ctx.rounding,
+            )
+        return upwind_derivative(f, vel, spacing, axis, ctx, boundary="edge", padded=padded)
 
-    def advection_term(self, f: np.ndarray, ctx: FPContext) -> np.ndarray:
-        """u . grad(f) with the configured scheme, through ``ctx``."""
+    def advection_term(self, f: np.ndarray, ctx: FPContext, which: str = "f") -> np.ndarray:
+        """u . grad(f) with the configured scheme, through ``ctx``.
+
+        On the fused bubble plane the WENO5 scheme batches both axis
+        derivatives into one stacked edge reconstruction
+        (:func:`repro.kernels.bubble.weno5_derivative_pair`) — bit-identical
+        per batch row to the per-axis twins."""
+        if (
+            self._fused_bubble
+            and self.config.advection_scheme == "weno5"
+            and (ctx.fused or ctx.fused_trunc)
+        ):
+            cfg = self.config
+            ws = self._workspace
+            padded = self._pad(f, 3, "weno")
+            if ctx.fused:
+                fx, fy = kbubble.weno5_derivative_pair(
+                    padded, self.velx, self.vely, cfg.dx, cfg.dy,
+                    ws=ws, key=("adv", which),
+                )
+                return kbubble.advection_term(
+                    fx, fy, self.velx, self.vely, ws=ws, key=("adv", which)
+                )
+            fx, fy = kbubble.weno5_derivative_pair_trunc(
+                padded, self.velx, self.vely, cfg.dx, cfg.dy,
+                ws=ws, key=("adv", which), fmt=ctx.fmt, rounding=ctx.rounding,
+            )
+            return kbubble.advection_term_trunc(
+                fx, fy, self.velx, self.vely, ws=ws, key=("adv", which),
+                fmt=ctx.fmt, rounding=ctx.rounding,
+            )
         deriv = (
             self._weno5_derivative
             if self.config.advection_scheme == "weno5"
             else self._upwind_derivative
         )
-        fx = deriv(f, self.velx, self.config.dx, 0, ctx)
-        fy = deriv(f, self.vely, self.config.dy, 1, ctx)
+        fx = deriv(f, self.velx, self.config.dx, 0, ctx, which)
+        fy = deriv(f, self.vely, self.config.dy, 1, ctx, which)
+        if self._fused_bubble and ctx.fused:
+            return kbubble.advection_term(
+                fx, fy, self.velx, self.vely, ws=self._workspace, key=("adv", which)
+            )
+        if self._fused_bubble and ctx.fused_trunc:
+            return kbubble.advection_term_trunc(
+                fx, fy, self.velx, self.vely, ws=self._workspace, key=("adv", which),
+                fmt=ctx.fmt, rounding=ctx.rounding,
+            )
         out = ctx.add(
             ctx.mul(ctx.const(self.velx), fx, "adv:u_fx"),
             ctx.mul(ctx.const(self.vely), fy, "adv:v_fy"),
@@ -209,11 +275,22 @@ class BubbleSolver:
         )
         return ctx.asplain(out)
 
-    def diffusion_term(self, f: np.ndarray, viscosity: np.ndarray, ctx: FPContext) -> np.ndarray:
+    def diffusion_term(self, f: np.ndarray, viscosity: np.ndarray, ctx: FPContext, which: str = "f") -> np.ndarray:
         """div(nu grad f) with second-order central differences, through ``ctx``."""
         cfg = self.config
         fp = self._pad(f, 1, "diff_f")
         nup = self._pad(viscosity, 1, "diff_nu")
+        if self._fused_bubble and ctx.fused:
+            return kbubble.diffusion_term(
+                f, viscosity, fp, nup, cfg.dx, cfg.dy,
+                ws=self._workspace, key=("diff", which),
+            )
+        if self._fused_bubble and ctx.fused_trunc:
+            return kbubble.diffusion_term_trunc(
+                f, viscosity, fp, nup, cfg.dx, cfg.dy,
+                ws=self._workspace, key=("diff", which),
+                fmt=ctx.fmt, rounding=ctx.rounding,
+            )
 
         def shifted(arr, di, dj):
             return arr[1 + di:arr.shape[0] - 1 + di, 1 + dj:arr.shape[1] - 1 + dj]
@@ -258,14 +335,30 @@ class BubbleSolver:
     # ------------------------------------------------------------------
     def _buoyancy(self) -> np.ndarray:
         cfg = self.config
+        if self._fused_bubble:
+            ls = self.levelset
+            return kbubble.buoyancy(
+                ls.phi, ls.eps, cfg.gravity, 1.0 / cfg.density_ratio,
+                ws=self._workspace, key=("buoy",),
+            )
         rho = self.levelset.density(1.0, 1.0 / cfg.density_ratio)
         return cfg.gravity * (1.0 - rho)
 
     def _surface_tension(self) -> Tuple[np.ndarray, np.ndarray]:
         cfg = self.config
         if not cfg.surface_tension:
-            zeros = np.zeros_like(self.pres)
+            if self._fused_bubble and self._workspace is not None:
+                zeros = self._workspace.out(("st", "zero"), self.pres.shape)
+                zeros.fill(0.0)
+            else:
+                zeros = np.zeros_like(self.pres)
             return zeros, zeros
+        if self._fused_bubble:
+            ls = self.levelset
+            return kbubble.surface_tension(
+                ls.phi, ls.eps, cfg.sigma, cfg.dx, cfg.dy,
+                ws=self._workspace, key=("st",),
+            )
         kappa = self.levelset.curvature()
         delta = self.levelset.delta()
         phi = self.levelset.phi
@@ -316,26 +409,58 @@ class BubbleSolver:
 
         mu = self.levelset.viscosity(cfg.nu_liquid, cfg.nu_liquid * cfg.viscosity_ratio / cfg.density_ratio)
 
-        adv_u = self._maybe_blend(lambda c: self.advection_term(self.velx, c), adv_ctx, truncate_mask)
-        adv_v = self._maybe_blend(lambda c: self.advection_term(self.vely, c), adv_ctx, truncate_mask)
-        diff_u = self._maybe_blend(lambda c: self.diffusion_term(self.velx, mu, c), diff_ctx, truncate_mask)
-        diff_v = self._maybe_blend(lambda c: self.diffusion_term(self.vely, mu, c), diff_ctx, truncate_mask)
+        adv_u = self._maybe_blend(lambda c: self.advection_term(self.velx, c, "u"), adv_ctx, truncate_mask)
+        adv_v = self._maybe_blend(lambda c: self.advection_term(self.vely, c, "v"), adv_ctx, truncate_mask)
+        diff_u = self._maybe_blend(lambda c: self.diffusion_term(self.velx, mu, c, "u"), diff_ctx, truncate_mask)
+        diff_v = self._maybe_blend(lambda c: self.diffusion_term(self.vely, mu, c, "v"), diff_ctx, truncate_mask)
 
         fx_st, fy_st = self._surface_tension()
         buoy = self._buoyancy()
 
-        ustar = self.velx + dt * (-adv_u + diff_u + fx_st)
-        vstar = self.vely + dt * (-adv_v + diff_v + fy_st + buoy)
+        if self._fused_bubble:
+            # fused glue, bit-identical to the expressions below: the
+            # operator results are owned by this step (scratch buffers or
+            # fresh blends), so the force/velocity assembly runs in place;
+            # only ustar/vstar — the new state — are fresh allocations
+            t = np.negative(adv_u, out=adv_u)
+            t = np.add(t, diff_u, out=t)
+            t = np.add(t, fx_st, out=t)
+            t = np.multiply(dt, t, out=t)
+            ustar = np.add(self.velx, t)
+            t = np.negative(adv_v, out=adv_v)
+            t = np.add(t, diff_v, out=t)
+            t = np.add(t, fy_st, out=t)
+            t = np.add(t, buoy, out=t)
+            t = np.multiply(dt, t, out=t)
+            vstar = np.add(self.vely, t)
+        else:
+            ustar = self.velx + dt * (-adv_u + diff_u + fx_st)
+            vstar = self.vely + dt * (-adv_v + diff_v + fy_st + buoy)
 
         self.velx, self.vely = ustar, vstar
         self._apply_velocity_bcs()
 
         # projection: make the velocity field divergence free
-        div = np.gradient(self.velx, cfg.dx, axis=0) + np.gradient(self.vely, cfg.dy, axis=1)
-        self.pres = self.poisson.solve(div / dt)
-        gx, gy = self.poisson.gradient(self.pres)
-        self.velx = self.velx - dt * gx
-        self.vely = self.vely - dt * gy
+        if self._fused_bubble:
+            ws = self._workspace
+            ga = kbubble.gradient_axis(self.velx, cfg.dx, 0, ws=ws, key=("proj", "dx"))
+            gb = kbubble.gradient_axis(self.vely, cfg.dy, 1, ws=ws, key=("proj", "dy"))
+            div = np.add(ga, gb, out=ga)
+            div = np.divide(div, dt, out=div)
+            self.pres = self.poisson.solve(div, ws=ws)
+            gx, gy = self.poisson.gradient(self.pres, ws=ws)
+            # velx/vely are the fresh ustar/vstar, so the correction may
+            # run in place
+            t = np.multiply(dt, gx, out=gx)
+            np.subtract(self.velx, t, out=self.velx)
+            t = np.multiply(dt, gy, out=gy)
+            np.subtract(self.vely, t, out=self.vely)
+        else:
+            div = np.gradient(self.velx, cfg.dx, axis=0) + np.gradient(self.vely, cfg.dy, axis=1)
+            self.pres = self.poisson.solve(div / dt)
+            gx, gy = self.poisson.gradient(self.pres)
+            self.velx = self.velx - dt * gx
+            self.vely = self.vely - dt * gy
         self._apply_velocity_bcs()
 
         # interface transport (advection operator: truncation target)
@@ -350,7 +475,21 @@ class BubbleSolver:
         self._last_dt = dt
 
     def _advect_levelset(self, ctx: FPContext) -> np.ndarray:
-        ls = LevelSet(self.levelset.phi, self.config.dx, self.config.dy)
+        cfg = self.config
+        if self._fused_bubble and ctx.fused:
+            # the twins read phi and return a fresh array, so the defensive
+            # LevelSet copy of the op-by-op path is unnecessary
+            return kbubble.levelset_advect(
+                self.levelset.phi, self.velx, self.vely, self._pending_dt,
+                cfg.dx, cfg.dy, ws=self._workspace, key=("ls", "adv"),
+            )
+        if self._fused_bubble and ctx.fused_trunc:
+            return kbubble.levelset_advect_trunc(
+                self.levelset.phi, self.velx, self.vely, self._pending_dt,
+                cfg.dx, cfg.dy, ws=self._workspace, key=("ls", "adv"),
+                fmt=ctx.fmt, rounding=ctx.rounding,
+            )
+        ls = LevelSet(self.levelset.phi, cfg.dx, cfg.dy)
         ls.advect(self.velx, self.vely, self._pending_dt, ctx)
         return ls.phi
 

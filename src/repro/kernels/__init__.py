@@ -28,6 +28,11 @@ context-free *grid* side — precomputed guard-fill plans, a batched
 ``compute_dt`` and stacked regrid estimators — gated by
 ``RAPTOR_FAST_NO_GRID`` (:func:`grid_plane_enabled`); it is plain binary64
 numpy outside any context, so instrumented counters stay byte-identical.
+:mod:`repro.kernels.bubble` does the same for the incompressible bubble
+solver — scratch-buffered twins of its advection/diffusion/level-set/
+projection operators, each truncatable one in a binary64 *and* a
+quantize-at-op-boundary variant — gated by ``RAPTOR_FAST_NO_BUBBLE``
+(:func:`bubble_plane_enabled`).
 
 Plane selection (:func:`select_context`) is applied centrally by
 :class:`~repro.core.selective.TruncationPolicy`, so every workload honours
@@ -41,7 +46,7 @@ consume, so kernel code depends on ``repro.kernels`` alone.
 """
 from ..core.memmode import ShadowContext
 from ..core.opmode import FPContext, FullPrecisionContext, TruncatedContext, make_context
-from . import flux, fused, grid, scratch, trunc
+from . import bubble, flux, fused, grid, scratch, trunc
 from .dispatch import (
     DEFAULT_PLANE,
     PLANES,
@@ -55,6 +60,7 @@ from .fast import FastPlaneContext
 from .scratch import (
     Workspace,
     batching_enabled,
+    bubble_plane_enabled,
     grid_plane_enabled,
     make_workspace,
     scratch_enabled,
@@ -74,6 +80,7 @@ __all__ = [
     "fused",
     "flux",
     "grid",
+    "bubble",
     "trunc",
     # scratch workspaces
     "scratch",
@@ -82,6 +89,7 @@ __all__ = [
     "scratch_enabled",
     "batching_enabled",
     "grid_plane_enabled",
+    "bubble_plane_enabled",
     # plane selection
     "PLANES",
     "DEFAULT_PLANE",

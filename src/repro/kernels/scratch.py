@@ -34,7 +34,11 @@ debugging, the results are bit-identical either way):
 * ``RAPTOR_FAST_NO_GRID=1`` — the fused grid plane (:mod:`repro.kernels.
   grid`: precomputed guard-fill plans, batched ``compute_dt``, stacked
   regrid estimators, scratch-buffered bubble paddings) is disabled and the
-  per-block Python reference paths run instead.
+  per-block Python reference paths run instead;
+* ``RAPTOR_FAST_NO_BUBBLE=1`` — the fused bubble plane
+  (:mod:`repro.kernels.bubble`: scratch-buffered advection/diffusion/
+  level-set/projection twins of the incompressible solver) is disabled and
+  the op-by-op context paths run instead.
 """
 from __future__ import annotations
 
@@ -50,6 +54,7 @@ __all__ = [
     "scratch_enabled",
     "batching_enabled",
     "grid_plane_enabled",
+    "bubble_plane_enabled",
     "make_workspace",
 ]
 
@@ -78,6 +83,15 @@ def grid_plane_enabled() -> bool:
     estimators) is active.  The grid side is context-free plain numpy, so
     the switch is bit-neutral on every kernel plane."""
     return not _env_truthy(os.environ.get("RAPTOR_FAST_NO_GRID"))
+
+
+def bubble_plane_enabled() -> bool:
+    """Whether the fused bubble plane (:mod:`repro.kernels.bubble`:
+    scratch-buffered twins of the incompressible solver's advection,
+    diffusion, level-set and projection operators) is active.  The twins
+    are bit-identical to the op-by-op context paths on every kernel plane,
+    so the switch exists for benchmarking and debugging only."""
+    return not _env_truthy(os.environ.get("RAPTOR_FAST_NO_BUBBLE"))
 
 
 def make_workspace() -> Optional["Workspace"]:

@@ -93,6 +93,20 @@ COMPONENTS = ("dens", "momn", "momt", "ener")
 #: every call site (kernel buffers use their own keys and never collide)
 _QZ = "qz"
 
+#: per-format scalar cache: (exp_bits, man_bits) -> (emin, man_bits, max_value)
+#: — the FPFormat properties recompute these from the bias on every access,
+#: which is measurable at quantise-per-op call rates
+_FMT_CACHE: Dict[Tuple[int, int], Tuple[int, int, float]] = {}
+
+
+def _fmt_scalars(fmt: FPFormat) -> Tuple[int, int, float]:
+    key = (fmt.exp_bits, fmt.man_bits)
+    v = _FMT_CACHE.get(key)
+    if v is None:
+        v = (fmt.emin, fmt.man_bits, fmt.max_value)
+        _FMT_CACHE[key] = v
+    return v
+
 
 # ---------------------------------------------------------------------------
 # buffered quantisation
@@ -132,10 +146,11 @@ def quantize_into(
         o = lambda key, shape, dtype=np.float64: np.empty(shape, np.dtype(dtype))
     else:
         o = _o(ws)
+    fmt_emin, fmt_man_bits, fmt_max_value = _fmt_scalars(fmt)
     finite = np.isfinite(arr, out=o((_QZ, "fin"), shp, bool))
     mask = np.not_equal(arr, 0.0, out=o((_QZ, "msk"), shp, bool))
     np.logical_and(finite, mask, out=finite)
-    if not np.any(finite):
+    if not finite.any():
         if out is None:
             return arr.copy()
         if out is not arr:
@@ -153,9 +168,9 @@ def quantize_into(
         e = o((_QZ, "e"), shp, np.int32)
         np.frexp(mag, m, e)
         E = np.subtract(e, 1, out=e)
-        prec = np.subtract(fmt.emin, E, out=o((_QZ, "p"), shp, np.int32))
+        prec = np.subtract(fmt_emin, E, out=o((_QZ, "p"), shp, np.int32))
         np.maximum(prec, 0, out=prec)
-        np.subtract(fmt.man_bits, prec, out=prec)
+        np.subtract(fmt_man_bits, prec, out=prec)
         p1 = np.add(prec, 1, out=o((_QZ, "p1"), shp, np.int32))
         scaled = np.ldexp(m, p1, out=m)
         if rounding == RoundingMode.NEAREST_EVEN:
@@ -176,23 +191,23 @@ def quantize_into(
         np.copyto(q, neg, where=sign)
 
         absq = np.abs(q, out=o((_QZ, "aux"), shp))
-        over = np.greater(absq, fmt.max_value, out=mask)
-        if np.any(over):
+        over = np.greater(absq, fmt_max_value, out=mask)
+        if over.any():
             if rounding == RoundingMode.TOWARD_ZERO:
-                clamp = np.copysign(fmt.max_value, q, out=absq)
+                clamp = np.copysign(fmt_max_value, q, out=absq)
                 np.copyto(q, clamp, where=over)
             elif rounding == RoundingMode.UP:
                 pos = np.logical_not(sign, out=o((_QZ, "b2"), shp, bool))
                 np.logical_and(over, pos, out=pos)
                 np.copyto(q, np.inf, where=pos)
                 np.logical_and(over, sign, out=over)
-                np.copyto(q, -fmt.max_value, where=over)
+                np.copyto(q, -fmt_max_value, where=over)
             elif rounding == RoundingMode.DOWN:
                 neg_over = np.logical_and(over, sign, out=o((_QZ, "b2"), shp, bool))
                 np.copyto(q, -np.inf, where=neg_over)
                 pos = np.logical_not(sign, out=o((_QZ, "b3"), shp, bool))
                 np.logical_and(over, pos, out=pos)
-                np.copyto(q, fmt.max_value, where=pos)
+                np.copyto(q, fmt_max_value, where=pos)
             else:
                 clamp = np.copysign(np.inf, q, out=absq)
                 np.copyto(q, clamp, where=over)

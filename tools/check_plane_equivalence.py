@@ -18,6 +18,12 @@ regrid every step, so guard-fill plans are rebuilt constantly and
 coarse/fine strips stay hot) through the fused *grid* plane — batched
 guard fills, batched ``compute_dt`` and stacked refinement estimators —
 and diffs it against a run with ``RAPTOR_FAST_NO_GRID`` set.
+A fifth pass covers the fused *bubble* plane (``repro.kernels.bubble``):
+a short rising-bubble run on the fused fast plane vs the op-by-op
+instrumented baseline (``RAPTOR_FAST_NO_BUBBLE=1`` +
+``plane="instrumented"``), both full-precision and truncated (e8m10) —
+the WENO5 advection, diffusion, level-set and projection twins must all
+match bitwise.
 
     PYTHONPATH=src python tools/check_plane_equivalence.py
 """
@@ -139,18 +145,91 @@ def _diff_grid_plane() -> list:
     return failures
 
 
+#: golden bubble pass: short but long enough to cross a level-set
+#: reinitialisation (10 steps per phase at the default reinit_interval=5)
+BUBBLE_GOLDEN = dict(
+    spin_up_time=0.04, truncation_time=0.04, snapshot_times=(0.04,),
+    fixed_dt=0.004,
+)
+
+
+def _diff_bubble_planes() -> list:
+    """Bubble run: fused bubble plane vs the op-by-op instrumented path.
+
+    The baseline needs an explicit policy — ``Scenario.reference`` maps the
+    bubble's full-precision contexts back to the solver's fast path — and
+    ``RAPTOR_FAST_NO_BUBBLE=1`` so the solver's workspace glue is off too.
+    """
+    import os
+
+    from repro.core import (FPFormat, GlobalPolicy, NoTruncationPolicy,
+                            RaptorRuntime, TruncationConfig)
+    from repro.workloads import create_workload
+
+    def run(plane, fmt=None):
+        runtime = RaptorRuntime()
+        if fmt is None:
+            policy = NoTruncationPolicy(runtime=runtime, count_ops=False,
+                                        track_memory=False, plane=plane)
+        else:
+            policy = GlobalPolicy(
+                TruncationConfig(targets={64: fmt}, count_ops=False,
+                                 track_memory=False),
+                runtime=runtime, plane=plane,
+            )
+        return create_workload("bubble", **BUBBLE_GOLDEN).run(
+            policy=policy, runtime=runtime
+        )
+
+    fmt = FPFormat(exp_bits=8, man_bits=10)
+    fused = run("fast")
+    fused_trunc = run("auto", fmt)
+    os.environ["RAPTOR_FAST_NO_BUBBLE"] = "1"
+    try:
+        reference = run("instrumented")
+        reference_trunc = run("instrumented", fmt)
+    finally:
+        del os.environ["RAPTOR_FAST_NO_BUBBLE"]
+
+    failures = []
+    for label, a_out, b_out in (
+        ("full-precision", reference, fused),
+        ("truncated", reference_trunc, fused_trunc),
+    ):
+        if a_out.time != b_out.time:
+            failures.append(
+                f"bubble ({label}): final time differs: {a_out.time} vs {b_out.time}"
+            )
+        if a_out.info != b_out.info:
+            failures.append(
+                f"bubble ({label}): run summaries differ: {a_out.info} vs {b_out.info}"
+            )
+        for var in sorted(a_out.state):
+            a, b = a_out.state[var], b_out.state[var]
+            if not np.array_equal(a, b):
+                diverged = int(np.sum(a != b))
+                failures.append(
+                    f"bubble ({label}): variable {var!r}: "
+                    f"{diverged}/{a.size} cells differ"
+                )
+    return failures
+
+
 def main() -> int:
     from repro.kernels.scratch import (
         batching_enabled,
+        bubble_plane_enabled,
         grid_plane_enabled,
         scratch_enabled,
     )
 
-    if not (scratch_enabled() and batching_enabled() and grid_plane_enabled()):
+    if not (scratch_enabled() and batching_enabled() and grid_plane_enabled()
+            and bubble_plane_enabled()):
         print(
             "FAIL: RAPTOR_FAST_NO_SCRATCH / RAPTOR_FAST_NO_BATCH / "
-            "RAPTOR_FAST_NO_GRID are set — this check must exercise the "
-            "scratch + batched + fused-grid fast plane"
+            "RAPTOR_FAST_NO_GRID / RAPTOR_FAST_NO_BUBBLE are set — this "
+            "check must exercise the scratch + batched + fused-grid + "
+            "fused-bubble fast plane"
         )
         return 1
 
@@ -159,6 +238,7 @@ def main() -> int:
         failures.extend(_diff_planes(name, config))
         failures.extend(_diff_trunc_planes(name, config))
     failures.extend(_diff_grid_plane())
+    failures.extend(_diff_bubble_planes())
 
     if failures:
         print("FAIL: fast plane is not bit-identical to the instrumented plane")
@@ -170,7 +250,8 @@ def main() -> int:
         "OK: golden Sod (PLM) and Sedov (WENO5, fused flux + scratch + "
         "batched) bitwise identical on both planes, full-precision and "
         "truncated (e8m10); regrid-heavy KH bitwise identical with the "
-        "fused grid plane on and off"
+        "fused grid plane on and off; rising bubble bitwise identical on "
+        "the fused bubble plane, full-precision and truncated"
     )
     return 0
 
