@@ -52,6 +52,14 @@ Useful variations::
     python examples/sweep_quickstart.py --shard 1/4 --out shard1.pkl   # host B
     ...
     python examples/sweep_quickstart.py --merge shard*.pkl
+
+    # fault tolerance: record failing points instead of aborting, bound
+    # each point's wall-clock on the process backend, retry transient
+    # worker crashes, and journal progress so a killed sweep resumes
+    # bitwise-identically from where it stopped
+    python examples/sweep_quickstart.py --backend process \
+        --on-error collect --point-timeout 300 --retries 2 \
+        --resume .raptor-journal
 """
 from __future__ import annotations
 
@@ -160,6 +168,42 @@ def parse_args() -> argparse.Namespace:
     )
     parser.add_argument("--backend", default="serial", choices=["serial", "process"])
     parser.add_argument("--max-workers", type=int, default=None)
+    parser.add_argument(
+        "--on-error",
+        default="raise",
+        choices=["raise", "collect"],
+        help="what a failing point does: raise (default) aborts the sweep "
+        "with the original exception; collect records a structured "
+        "PointFailure and keeps sweeping the healthy points",
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock bound on the process backend (per-cell "
+        "in --adaptive mode); hung workers are killed and the point is "
+        "reported as a timeout failure",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry tasks orphaned by transient worker crashes up to N "
+        "times in fresh process pools (default: one free rebuild, no "
+        "backoff); deterministic crashers still fail after the budget",
+    )
+    parser.add_argument(
+        "--resume",
+        "--checkpoint",
+        dest="checkpoint",
+        default=None,
+        metavar="DIR",
+        help="journal every resolved point into DIR (crash-safe, atomic); "
+        "rerunning the same command resumes, executing only the missing "
+        "points, bitwise identical to an uninterrupted run",
+    )
     parser.add_argument("--max-level", type=int, default=3, help="AMR levels (8x8 blocks)")
     parser.add_argument("--t-end", type=float, default=None, help="override simulated end time")
     parser.add_argument(
@@ -284,6 +328,10 @@ def report_sweep(result: SweepResult, args: argparse.Namespace, merged: bool = F
     )
     if result.cache_stats is not None:
         print("reference cache: " + CacheStats(**result.cache_stats).describe())
+    if result.failures:
+        print(f"failed points: {len(result.failures)}")
+        for failure in result.failures:
+            print(f"  {failure.describe()}")
 
 
 def report_adaptive(result: AdaptiveResult, args: argparse.Namespace, merged: bool = False) -> None:
@@ -297,6 +345,10 @@ def report_adaptive(result: AdaptiveResult, args: argparse.Namespace, merged: bo
     print(f"total runs: {result.total_runs} (vs {grid_total} for the fixed grids)")
     if result.cache_stats is not None:
         print("reference cache: " + CacheStats(**result.cache_stats).describe())
+    if result.failures:
+        print(f"failed cells: {len(result.failures)}")
+        for failure in result.failures:
+            print(f"  {failure.describe()}")
 
 
 def load_result(path):
@@ -354,6 +406,11 @@ def main() -> None:
     workload_configs = build_workload_configs(args, workloads)
 
     if args.adaptive:
+        if args.checkpoint is not None:
+            raise SystemExit(
+                "--resume/--checkpoint journals fixed-grid sweeps only; "
+                "adaptive cliff searches are not checkpointable yet"
+            )
         # with neither --policy nor --modules given, let each workload's
         # default_modules pick the truncation target (a fixed hydro policy
         # would truncate nothing for cellular/bubble)
@@ -371,6 +428,9 @@ def main() -> None:
             backend=args.backend,
             max_workers=args.max_workers,
             cache_dir=args.cache_dir,
+            on_error=args.on_error,
+            point_timeout=args.point_timeout,
+            retries=args.retries,
         )
         if args.shard is not None:
             spec = spec.shard(*args.shard)
@@ -392,10 +452,13 @@ def main() -> None:
             backend=args.backend,
             max_workers=args.max_workers,
             cache_dir=args.cache_dir,
+            on_error=args.on_error,
+            point_timeout=args.point_timeout,
+            retries=args.retries,
         )
         if args.shard is not None:
             spec = spec.shard(*args.shard)
-        result = run_sweep(spec)
+        result = run_sweep(spec, checkpoint=args.checkpoint)
         report_sweep(result, args)
 
     if args.out:

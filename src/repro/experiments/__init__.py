@@ -33,6 +33,17 @@ The package splits into four modules:
   :func:`find_cliff` bisects the mantissa axis of one (workload, policy)
   pair in O(log n) runs; :func:`run_adaptive_sweep` drives it across a
   workload × policy grid with the same cache/shard/backend machinery.
+* :mod:`~repro.experiments.journal` — crash-safe checkpointing.
+  ``run_sweep(spec, checkpoint=dir)`` journals every resolved point with
+  atomic write-then-rename; rerunning the same spec resumes, executing
+  only the missing points, bitwise identical to an uninterrupted run.
+
+Fault tolerance is configured on the specs: ``on_error="collect"`` turns
+failing points into structured :class:`PointFailure` records instead of
+aborting the sweep, ``point_timeout`` bounds each point on the process
+backend (hung workers are killed), and ``retries`` bounds fresh-pool
+rebuilds for transiently crashing workers.  See the "Fault tolerance"
+section of ``docs/architecture.md``.
 
 All of this works uniformly across every registered workload because each
 one implements the scenario protocol of :mod:`repro.workloads.scenario`
@@ -59,7 +70,18 @@ from .cache import (
     reference_key,
     solver_fingerprint,
 )
-from .engine import PointResult, ReferenceResult, SweepResult, gather_references, run_sweep
+from .engine import (
+    NonFiniteStateError,
+    PointFailure,
+    PointResult,
+    ReferenceResult,
+    SweepResult,
+    checkpoint_signature,
+    gather_references,
+    nonfinite_variables,
+    run_sweep,
+)
+from .journal import CheckpointMismatchError, SweepJournal, atomic_pickle
 from .spec import PolicySpec, SweepPoint, SweepSpec, format_label, resolve_format
 
 __all__ = [
@@ -67,10 +89,18 @@ __all__ = [
     "SweepPoint",
     "PolicySpec",
     "PointResult",
+    "PointFailure",
+    "NonFiniteStateError",
+    "nonfinite_variables",
     "ReferenceResult",
     "SweepResult",
     "run_sweep",
     "gather_references",
+    # crash-safe checkpoint/resume
+    "SweepJournal",
+    "CheckpointMismatchError",
+    "checkpoint_signature",
+    "atomic_pickle",
     "resolve_format",
     "format_label",
     "ReferenceCache",

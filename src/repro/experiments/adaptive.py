@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import pickle
+import time
 import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -39,7 +40,8 @@ from ..core.fpformat import FPFormat
 from ..core.quantize import RoundingMode
 from ..core.report import format_table
 from ..core.runtime import RaptorRuntime
-from ..parallel.executor import run_tasks
+from ..parallel.executor import TaskFault, run_tasks
+from ..testing.faults import maybe_inject
 from ..workloads.registry import (
     UnknownWorkloadError,
     canonical_name,
@@ -48,12 +50,24 @@ from ..workloads.registry import (
 )
 from ..workloads.scenario import Outcome, scenario_protocol_errors
 from .cache import ReferenceCache, reference_key
-from .engine import ReferenceResult, _resolve_cache, gather_references, run_reference
+from .engine import (
+    NonFiniteStateError,
+    PointFailure,
+    ReferenceResult,
+    _exception_failure,
+    _fault_failure,
+    _resolve_cache,
+    gather_references,
+    nonfinite_variables,
+    run_reference,
+)
+from .journal import atomic_pickle
 from .spec import (
     PolicySpec,
     config_kwargs_for,
     validate_alias_keyed_mapping,
     validate_config_overrides,
+    validate_fault_tolerance,
     validate_workload_list,
 )
 
@@ -74,13 +88,29 @@ __all__ = [
 # ---------------------------------------------------------------------------
 @dataclass
 class CliffEvaluation:
-    """One bisection probe: a full workload run at one mantissa width."""
+    """One bisection probe: a full workload run at one mantissa width.
+
+    Under ``on_error="collect"`` a probe that raises (or blows up to
+    non-finite state) becomes a *failed* evaluation — ``passed=False``,
+    ``error=inf`` — carrying the structured
+    :class:`~repro.experiments.engine.PointFailure` in ``failure``, so the
+    bisection continues instead of aborting the whole cell.  Treating a
+    crash as "past the cliff" is sound for the same monotonicity reason the
+    bisection itself is: solver failures set in *below* the precision
+    cliff, not above it.
+    """
 
     man_bits: int
     error: float
     passed: bool
     truncated_fraction: float
     info: Dict[str, float] = field(default_factory=dict)
+    failure: Optional[PointFailure] = None
+
+    def __setstate__(self, state) -> None:
+        # evaluations pickled before the fault-tolerance layer
+        self.__dict__.update(state)
+        self.__dict__.setdefault("failure", None)
 
 
 @dataclass
@@ -121,6 +151,12 @@ class CliffResult:
         failing = [e.man_bits for e in self.evaluations if not e.passed]
         return max(failing) if failing else None
 
+    @property
+    def probe_failures(self) -> List[PointFailure]:
+        """Structured failures of probes that raised or blew up (collect
+        mode only; empty for a clean search)."""
+        return [e.failure for e in self.evaluations if e.failure is not None]
+
     def describe(self) -> str:
         where = f"m{self.cliff_man_bits}" if self.found else "not found in range"
         return (
@@ -145,6 +181,7 @@ class CliffResult:
                     "error": e.error,
                     "passed": e.passed,
                     "truncated_fraction": e.truncated_fraction,
+                    **({"failure": e.failure.to_dict()} if e.failure is not None else {}),
                 }
                 for e in self.evaluations
             ],
@@ -221,6 +258,7 @@ def _evaluate_bits(
     threshold: Optional[float],
     plane: str = "auto",
     count_ops: bool = True,
+    check_finite: bool = False,
 ) -> CliffEvaluation:
     runtime = RaptorRuntime(f"{workload.name}-cliff-m{man_bits}")
     built = policy.build(
@@ -228,6 +266,13 @@ def _evaluate_bits(
         rounding=rounding, plane=plane, count_ops=count_ops,
     )
     outcome = workload.run(policy=built, runtime=runtime)
+    if check_finite:
+        bad = nonfinite_variables(outcome.state)
+        if bad:
+            raise NonFiniteStateError(
+                f"non-finite values in final state variable(s) {bad} at "
+                f"t={outcome.time:g} — the m{man_bits} probe blew up"
+            )
     evaluate = getattr(workload, "evaluate", None)
     if evaluate is not None:
         error, passed = evaluate(outcome, reference, threshold=threshold)
@@ -259,6 +304,7 @@ def find_cliff(
     index: int = 0,
     plane: str = "auto",
     count_ops: bool = True,
+    on_error: str = "raise",
 ) -> CliffResult:
     """Bisect the mantissa axis of one (workload, policy) pair.
 
@@ -272,7 +318,15 @@ def find_cliff(
     path), or computed on the spot (on the fused fast kernel plane unless
     ``plane="instrumented"``; ``plane`` likewise selects the plane of every
     probe's non-truncating contexts — see :mod:`repro.kernels`).
+
+    ``on_error="collect"`` isolates probe failures: a probe that raises, or
+    finishes with non-finite state, becomes a failed
+    :class:`CliffEvaluation` carrying a structured ``failure`` record (see
+    that class) and the bisection continues.  The default ``"raise"``
+    preserves today's behaviour — the first probe exception aborts the
+    search.
     """
+    validate_fault_tolerance(on_error, None, None)
     if isinstance(workload, str):
         obj = create_workload(workload, **dict(config_kwargs or {}))
     else:
@@ -323,11 +377,38 @@ def find_cliff(
         else:
             reference = run_reference(obj, plane=plane).detach()
 
+    collect = on_error == "collect"
+
     def evaluate(bits: int) -> CliffEvaluation:
-        return _evaluate_bits(
-            obj, pol, reference, bits, exp_bits, rounding, threshold,
-            plane=plane, count_ops=count_ops,
-        )
+        if not collect:
+            return _evaluate_bits(
+                obj, pol, reference, bits, exp_bits, rounding, threshold,
+                plane=plane, count_ops=count_ops,
+            )
+        probe_started = time.perf_counter()
+        try:
+            return _evaluate_bits(
+                obj, pol, reference, bits, exp_bits, rounding, threshold,
+                plane=plane, count_ops=count_ops, check_finite=True,
+            )
+        except Exception as exc:
+            # a crashing/blowing-up probe counts as a failed width; the
+            # bisection's monotonicity assumption covers it (failures set
+            # in below the cliff) and the record keeps the evidence
+            return CliffEvaluation(
+                man_bits=bits,
+                error=float("inf"),
+                passed=False,
+                truncated_fraction=0.0,
+                failure=_exception_failure(
+                    exc,
+                    index=index,
+                    workload=obj.name,
+                    format_name=f"e{exp_bits}m{bits}",
+                    policy=pol.describe(),
+                    seconds=time.perf_counter() - probe_started,
+                ),
+            )
 
     cliff, evaluations = bisect_cliff(evaluate, min_man_bits, max_man_bits)
     return CliffResult(
@@ -399,6 +480,23 @@ class AdaptiveSpec:
     cache_dir: Optional[str] = None
     shard_index: int = 0
     shard_count: int = 1
+    #: ``"collect"`` isolates failures (probe-level inside each cell, plus
+    #: cell/reference-level into :attr:`AdaptiveResult.failures`) instead of
+    #: aborting the grid; same semantics as :attr:`SweepSpec.on_error`
+    on_error: str = "raise"
+    #: per-*cell* deadline in seconds on the process backend (a cell is one
+    #: full bisection of up to ``ceil(log2 n)+1`` runs, so size it
+    #: accordingly); ``None`` disables it
+    point_timeout: Optional[float] = None
+    #: fresh-pool rebuilds for transiently crashing cells; same semantics
+    #: as :attr:`SweepSpec.retries`
+    retries: Optional[int] = None
+
+    def __setstate__(self, state) -> None:
+        # specs pickled before the fault-tolerance fields existed
+        self.__dict__.update(state)
+        for name, default in (("on_error", "raise"), ("point_timeout", None), ("retries", None)):
+            self.__dict__.setdefault(name, default)
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -425,6 +523,7 @@ class AdaptiveSpec:
             raise ValueError(
                 f"shard_index must be in [0, {self.shard_count}), got {self.shard_index}"
             )
+        validate_fault_tolerance(self.on_error, self.point_timeout, self.retries)
         seen = validate_workload_list(self.workloads, "AdaptiveSpec")
         validate_alias_keyed_mapping(self.workload_configs, seen, "workload_configs")
         validate_alias_keyed_mapping(self.thresholds, seen, "thresholds")
@@ -506,9 +605,33 @@ class _CliffTask:
     reference_kind: str
     plane: str = "auto"
     count_ops: bool = True
+    on_error: str = "raise"
 
 
-def _execute_cliff(task: _CliffTask) -> CliffResult:
+def _execute_cliff(task: _CliffTask):
+    cell = task.cell
+    if task.on_error != "collect":
+        maybe_inject("cell", cell.index)
+        return _run_cliff_task(task)
+    started = time.perf_counter()
+    try:
+        maybe_inject("cell", cell.index)
+        return _run_cliff_task(task)
+    except Exception as exc:
+        # probe-level errors are already isolated inside find_cliff; what
+        # lands here is cell-level (workload construction, a broken
+        # evaluate(), an injected cell fault) — record it and move on
+        return _exception_failure(
+            exc,
+            index=cell.index,
+            workload=cell.workload,
+            format_name=f"e{task.exp_bits}m[{task.min_man_bits},{task.max_man_bits}]",
+            policy=cell.policy.describe(),
+            seconds=time.perf_counter() - started,
+        )
+
+
+def _run_cliff_task(task: _CliffTask) -> CliffResult:
     cell = task.cell
     workload = create_workload(cell.workload, **task.config_kwargs)
     reference = Outcome(
@@ -529,6 +652,7 @@ def _execute_cliff(task: _CliffTask) -> CliffResult:
         index=cell.index,
         plane=task.plane,
         count_ops=task.count_ops,
+        on_error=task.on_error,
     )
 
 
@@ -543,6 +667,14 @@ class AdaptiveResult:
     cliffs: List[CliffResult]
     references: Dict[str, ReferenceResult]
     cache_stats: Optional[Dict[str, int]] = None
+    #: failed cells (and references, ``index=-1``) of an
+    #: ``on_error="collect"`` grid, in cell order; always empty in raise mode
+    failures: List[PointFailure] = field(default_factory=list)
+
+    def __setstate__(self, state) -> None:
+        # results pickled before the fault-tolerance layer
+        self.__dict__.update(state)
+        self.__dict__.setdefault("failures", [])
 
     def __len__(self) -> int:
         return len(self.cliffs)
@@ -552,6 +684,16 @@ class AdaptiveResult:
 
     def select(self, workload: Optional[str] = None) -> List[CliffResult]:
         return [c for c in self.cliffs if workload is None or c.workload == workload]
+
+    def select_failures(
+        self, workload: Optional[str] = None, kind: Optional[str] = None
+    ) -> List[PointFailure]:
+        return [
+            f
+            for f in self.failures
+            if (workload is None or f.workload == workload)
+            and (kind is None or f.kind == kind)
+        ]
 
     @property
     def total_runs(self) -> int:
@@ -574,10 +716,26 @@ class AdaptiveResult:
                     str(c.grid_points),
                 ]
             )
-        return format_table(
+        text = format_table(
             ["workload", "policy", "bits range", "cliff", "err@cliff", "runs", "grid"],
             rows,
         )
+        if self.failures:
+            failure_rows = [
+                [
+                    str(f.index),
+                    f.workload,
+                    f.policy,
+                    f.kind,
+                    f.exc_type or "-",
+                    f.message[:60],
+                ]
+                for f in self.failures
+            ]
+            text += "\n\nfailed cells:\n" + format_table(
+                ["index", "workload", "policy", "kind", "error", "message"], failure_rows
+            )
+        return text
 
     def to_dict(self) -> dict:
         return {
@@ -595,17 +753,15 @@ class AdaptiveResult:
             "cache": self.cache_stats,
             "total_runs": self.total_runs,
             "cliffs": [c.to_dict() for c in self.cliffs],
+            "failures": [f.to_dict() for f in self.failures],
         }
 
     # -- shard persistence + recombination ------------------------------
     def save(self, path) -> Path:
-        """Pickle the full result (same caveats as :meth:`SweepResult.save`:
-        only load files you produced yourself)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "wb") as fh:
-            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        return path
+        """Pickle the full result atomically (tempfile + rename; same
+        caveats as :meth:`SweepResult.save`: only load files you produced
+        yourself)."""
+        return atomic_pickle(self, path)
 
     @classmethod
     def load(cls, path) -> "AdaptiveResult":
@@ -650,17 +806,32 @@ class AdaptiveResult:
                     "(grid, bits range, thresholds, rounding or configs disagree)"
                 )
         merged: Dict[int, CliffResult] = {}
+        merged_failures: Dict[int, PointFailure] = {}
+        reference_failures: List[PointFailure] = []
         references: Dict[str, ReferenceResult] = {}
         for result in results:
             for cliff in result.cliffs:
-                if cliff.index in merged:
+                if cliff.index in merged or cliff.index in merged_failures:
                     raise ValueError(f"cell index {cliff.index} appears in more than one shard")
                 merged[cliff.index] = cliff
+            for failure in result.failures:
+                if failure.index < 0:
+                    if not any(
+                        f.failure_key() == failure.failure_key() for f in reference_failures
+                    ):
+                        reference_failures.append(failure)
+                    continue
+                if failure.index in merged or failure.index in merged_failures:
+                    raise ValueError(
+                        f"cell index {failure.index} appears in more than one shard"
+                    )
+                merged_failures[failure.index] = failure
             for name, ref in result.references.items():
                 references.setdefault(name, ref)
         base = results[0].spec.unsharded()
         expected = [c.index for c in base.full_cells()]
-        missing = sorted(set(expected) - set(merged))
+        # a failed cell still covers its grid cell (same rule as SweepResult)
+        missing = sorted(set(expected) - set(merged) - set(merged_failures))
         if missing:
             raise ValueError(
                 f"merged shards do not cover the full grid; missing cell "
@@ -675,9 +846,11 @@ class AdaptiveResult:
             }
         return cls(
             spec=base,
-            cliffs=[merged[index] for index in expected],
+            cliffs=[merged[index] for index in expected if index in merged],
             references=references,
             cache_stats=cache_stats,
+            failures=reference_failures
+            + [merged_failures[index] for index in expected if index in merged_failures],
         )
 
 
@@ -694,18 +867,46 @@ def run_adaptive_sweep(
     """
     spec.validate()
     cells = spec.cells()
+    collect = spec.on_error == "collect"
     ref_cache = _resolve_cache(spec, cache)
     stats_before = ref_cache.stats.to_dict() if ref_cache is not None else None
 
     needed = list(dict.fromkeys(cell.workload for cell in cells))
-    references = gather_references(
+    gathered = gather_references(
         needed,
         spec.config_kwargs,
         cache=ref_cache,
         backend=spec.backend,
         max_workers=spec.max_workers,
         plane=spec.plane,
+        on_error=spec.on_error,
+        timeout=spec.point_timeout,
+        retries=spec.retries,
     )
+    references: Dict[str, ReferenceResult] = {}
+    ref_failures: Dict[str, PointFailure] = {}
+    for name, ref in gathered.items():
+        if isinstance(ref, PointFailure):
+            ref_failures[name] = ref
+        else:
+            references[name] = ref
+
+    failures: Dict[int, PointFailure] = {}
+    todo = []
+    for cell in cells:
+        if cell.workload in ref_failures:
+            ref_failure = ref_failures[cell.workload]
+            failures[cell.index] = PointFailure(
+                index=cell.index,
+                workload=cell.workload,
+                format_name=f"e{spec.exp_bits}m[{spec.min_man_bits},{spec.max_man_bits}]",
+                policy=cell.policy.describe(),
+                kind="reference",
+                exc_type=ref_failure.exc_type,
+                message=f"reference failed [{ref_failure.kind}]: {ref_failure.message}",
+            )
+        else:
+            todo.append(cell)
 
     tasks = [
         _CliffTask(
@@ -721,19 +922,42 @@ def run_adaptive_sweep(
             reference_kind=getattr(references[cell.workload], "kind", "compressible"),
             plane=spec.plane,
             count_ops=spec.count_probe_ops,
+            on_error=spec.on_error,
         )
-        for cell in cells
+        for cell in todo
     ]
-    cliffs = run_tasks(
-        _execute_cliff, tasks, backend=spec.backend, max_workers=spec.max_workers
+    outcomes = run_tasks(
+        _execute_cliff,
+        tasks,
+        backend=spec.backend,
+        max_workers=spec.max_workers,
+        timeout=spec.point_timeout,
+        retries=spec.retries,
+        collect=collect,
     )
+    cliffs: Dict[int, CliffResult] = {}
+    for cell, outcome in zip(todo, outcomes):
+        if isinstance(outcome, TaskFault):
+            outcome = _fault_failure(
+                outcome,
+                index=cell.index,
+                workload=cell.workload,
+                format_name=f"e{spec.exp_bits}m[{spec.min_man_bits},{spec.max_man_bits}]",
+                policy=cell.policy.describe(),
+            )
+        if isinstance(outcome, PointFailure):
+            failures[cell.index] = outcome
+        else:
+            cliffs[cell.index] = outcome
     cache_stats = None
     if ref_cache is not None:
         after = ref_cache.stats.to_dict()
         cache_stats = {key: after[key] - stats_before[key] for key in after}
     return AdaptiveResult(
         spec=spec,
-        cliffs=list(cliffs),
+        cliffs=[cliffs[c.index] for c in cells if c.index in cliffs],
         references=references,
         cache_stats=cache_stats,
+        failures=[f for f in ref_failures.values()]
+        + [failures[c.index] for c in cells if c.index in failures],
     )

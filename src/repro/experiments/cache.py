@@ -57,6 +57,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -82,7 +83,7 @@ __all__ = [
 #: so a new kernels/solver package can never be silently left out of
 #: cache invalidation.  ``kernels`` is included: the fast planes are
 #: contractually bit-identical, but a bug there must invalidate caches.
-_NON_PHYSICS_PACKAGES = frozenset({"experiments", "parallel", "codesign"})
+_NON_PHYSICS_PACKAGES = frozenset({"experiments", "parallel", "codesign", "testing"})
 
 _fingerprint_cache: Optional[str] = None
 
@@ -354,6 +355,11 @@ class NpzReferenceStore:
     def read(self, key: ReferenceKey):
         """Load an entry, or return ``None`` when absent/corrupt.
 
+        A corrupt/truncated entry (a hard kill predating the atomic-write
+        discipline, disk error) is a *miss*, not a crash: the file is
+        deleted with a :class:`RuntimeWarning` so the recompute can store a
+        clean replacement instead of tripping over the same bytes forever.
+
         Returns ``(reference, fingerprint)``; fingerprint checking is the
         caller's job (the cache front-end), so corrupt and stale entries
         can be counted separately.
@@ -366,7 +372,14 @@ class NpzReferenceStore:
             return None
         try:
             checkpoint = Checkpoint.load(path)
-        except self._read_errors():
+        except self._read_errors() as exc:
+            warnings.warn(
+                f"deleting corrupt reference-cache entry {path.name} "
+                f"({type(exc).__name__}: {exc}); the reference will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            path.unlink(missing_ok=True)
             return None
         meta = checkpoint.metadata
         reference = Outcome(

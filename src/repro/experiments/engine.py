@@ -21,12 +21,14 @@ Two scale features sit on top of that core loop:
 """
 from __future__ import annotations
 
+import hashlib
 import inspect
 import pickle
 import time
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,17 +37,22 @@ from ..core.report import format_table
 from ..core.runtime import RaptorRuntime
 from ..io.sfocu import compare
 from ..kernels import reference_plane
-from ..parallel.executor import run_tasks
+from ..parallel.executor import TaskFault, run_tasks
+from ..testing.faults import maybe_inject
 from ..workloads.base import CompressibleWorkload
 from ..workloads.registry import create_workload
 from ..workloads.scenario import Outcome
 from .cache import ReferenceCache, reference_key
+from .journal import SweepJournal, atomic_pickle
 from .spec import PolicySpec, SweepPoint, SweepSpec, format_label
 
 __all__ = [
+    "NonFiniteStateError",
+    "PointFailure",
     "PointResult",
     "ReferenceResult",
     "SweepResult",
+    "checkpoint_signature",
     "run_reference",
     "run_sweep",
     "gather_references",
@@ -64,6 +71,7 @@ class _ReferenceTask:
     workload: str
     config_kwargs: Dict[str, object]
     plane: str = "auto"
+    on_error: str = "raise"
 
 
 @dataclass
@@ -77,6 +85,152 @@ class _PointTask:
     keep_state: bool
     plane: str = "auto"
     count_ops: bool = True
+    on_error: str = "raise"
+
+
+# ---------------------------------------------------------------------------
+# failures
+# ---------------------------------------------------------------------------
+class NonFiniteStateError(RuntimeError):
+    """A truncated run produced NaN/Inf in its final state (blow-up).
+
+    Only raised under ``on_error="collect"`` — the default raise mode keeps
+    today's behaviour of letting non-finite values flow into the error
+    norms, so default-path results stay bit-for-bit unchanged.
+    """
+
+
+def nonfinite_variables(state: Mapping[str, np.ndarray]) -> List[str]:
+    """Names of state variables containing NaN/Inf, in state order."""
+    return [
+        name
+        for name, values in state.items()
+        if not np.isfinite(np.asarray(values)).all()
+    ]
+
+
+@dataclass
+class PointFailure:
+    """Structured, picklable record of one failed unit of sweep work.
+
+    ``kind`` taxonomy:
+
+    * ``"exception"``    — the point raised (solver error, bad config, …);
+    * ``"blowup"``       — the run finished but its state is non-finite;
+    * ``"timeout"``      — the point exceeded ``point_timeout`` and its
+      hung worker was killed;
+    * ``"worker-crash"`` — the worker process died (SIGKILL/OOM) and kept
+      dying on retry;
+    * ``"reference"``    — the point never ran because its workload's
+      reference failed (the reference's own failure is recorded with
+      ``index=-1``).
+
+    ``index`` is the global sweep-point index (``-1`` for a reference
+    failure itself; the adaptive engine stores cell indices).  Equality for
+    bitwise result comparison goes through :meth:`failure_key`, which —
+    like ``PointResult.metrics_key`` — excludes the machine-dependent
+    ``seconds``.
+    """
+
+    index: int
+    workload: str
+    format_name: str
+    policy: str
+    kind: str
+    exc_type: str = ""
+    message: str = ""
+    traceback: str = ""
+    #: wall-clock seconds until the failure surfaced; machine-dependent,
+    #: hence excluded from :meth:`failure_key`
+    seconds: float = 0.0
+    #: fresh-pool retries the task consumed before being declared failed
+    retries: int = 0
+
+    def failure_key(self) -> tuple:
+        """Everything that must match across backends and resume runs."""
+        return (
+            self.index,
+            self.workload,
+            self.format_name,
+            self.policy,
+            self.kind,
+            self.exc_type,
+            self.message,
+        )
+
+    def describe(self) -> str:
+        what = f"{self.exc_type}: {self.message}" if self.exc_type else self.message
+        return (
+            f"point {self.index} ({self.workload} @ {self.format_name} / "
+            f"{self.policy}) failed [{self.kind}] {what}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "workload": self.workload,
+            "format": self.format_name,
+            "policy": self.policy,
+            "kind": self.kind,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "seconds": self.seconds,
+            "retries": self.retries,
+        }
+
+
+def _exception_failure(
+    exc: BaseException,
+    *,
+    index: int,
+    workload: str,
+    format_name: str,
+    policy: str,
+    seconds: float,
+) -> PointFailure:
+    kind = "blowup" if isinstance(exc, NonFiniteStateError) else "exception"
+    return PointFailure(
+        index=index,
+        workload=workload,
+        format_name=format_name,
+        policy=policy,
+        kind=kind,
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        traceback=traceback.format_exc(),
+        seconds=seconds,
+    )
+
+
+def _fault_failure(
+    fault: TaskFault, *, index: int, workload: str, format_name: str, policy: str
+) -> PointFailure:
+    """Translate an executor-level :class:`TaskFault` sentinel (timeout,
+    deterministic worker crash) into the engine's failure record."""
+    return PointFailure(
+        index=index,
+        workload=workload,
+        format_name=format_name,
+        policy=policy,
+        kind=fault.kind,
+        exc_type="",
+        message=fault.message,
+        seconds=fault.elapsed,
+        retries=fault.retries,
+    )
+
+
+def _reference_failure_for_point(point: SweepPoint, ref_failure: PointFailure) -> PointFailure:
+    """The failure recorded for a point whose workload reference failed."""
+    return PointFailure(
+        index=point.index,
+        workload=point.workload,
+        format_name=point.format_name,
+        policy=point.policy.describe(),
+        kind="reference",
+        exc_type=ref_failure.exc_type,
+        message=f"reference failed [{ref_failure.kind}]: {ref_failure.message}",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -159,6 +313,15 @@ class SweepResult:
     #: this is the aggregate compute time across shards, not the elapsed
     #: time of any one host.
     elapsed_seconds: float = 0.0
+    #: failed points of an ``on_error="collect"`` sweep, in grid order;
+    #: always empty in raise mode (the sweep would have raised instead)
+    failures: List[PointFailure] = field(default_factory=list)
+
+    def __setstate__(self, state) -> None:
+        # results pickled before the fault-tolerance layer carry no
+        # failures field; default it so old shard files keep loading
+        self.__dict__.update(state)
+        self.__dict__.setdefault("failures", [])
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -191,6 +354,28 @@ class SweepResult:
             out.append(p)
         return out
 
+    def select_failures(
+        self,
+        workload: Optional[str] = None,
+        fmt: Optional[str] = None,
+        policy: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> List[PointFailure]:
+        """Failures matching the given workload / format label / policy
+        description / failure kind (all optional)."""
+        out = []
+        for f in self.failures:
+            if workload is not None and f.workload != workload:
+                continue
+            if fmt is not None and f.format_name != fmt:
+                continue
+            if policy is not None and f.policy != policy:
+                continue
+            if kind is not None and f.kind != kind:
+                continue
+            out.append(f)
+        return out
+
     def rollup(self) -> RaptorRuntime:
         """Merged op/mem counters over all points (references excluded)."""
         total = RaptorRuntime("sweep-rollup")
@@ -214,7 +399,7 @@ class SweepResult:
                     f"{p.giga_ops[1]:.4f}",
                 ]
             )
-        return format_table(
+        text = format_table(
             [
                 "workload",
                 "policy",
@@ -227,6 +412,24 @@ class SweepResult:
             ],
             rows,
         )
+        if self.failures:
+            failure_rows = [
+                [
+                    str(f.index),
+                    f.workload,
+                    f.policy,
+                    f.format_name,
+                    f.kind,
+                    f.exc_type or "-",
+                    f.message[:60],
+                ]
+                for f in self.failures
+            ]
+            text += "\n\nfailed points:\n" + format_table(
+                ["index", "workload", "policy", "format", "kind", "error", "message"],
+                failure_rows,
+            )
+        return text
 
     def to_dict(self) -> dict:
         """JSON-serialisable summary (states and snapshots omitted)."""
@@ -255,6 +458,7 @@ class SweepResult:
                 }
                 for p in self.points
             ],
+            "failures": [f.to_dict() for f in self.failures],
         }
 
     # ------------------------------------------------------------------
@@ -267,12 +471,12 @@ class SweepResult:
         :class:`SweepResult` is picklable by construction because it
         crosses process boundaries during parallel execution.  Only load
         files you produced yourself (pickle executes code on load).
+
+        The write is atomic (tempfile + rename, the reference cache's
+        discipline): a crash mid-save leaves either the previous file or
+        the new one, never a torn pickle that :meth:`load` chokes on.
         """
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "wb") as fh:
-            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        return path
+        return atomic_pickle(self, path)
 
     @classmethod
     def load(cls, path) -> "SweepResult":
@@ -330,20 +534,38 @@ class SweepResult:
                 )
 
         merged_points: Dict[int, PointResult] = {}
+        merged_failures: Dict[int, PointFailure] = {}
+        reference_failures: List[PointFailure] = []
         references: Dict[str, ReferenceResult] = {}
         for result in results:
             for point in result.points:
-                if point.index in merged_points:
+                if point.index in merged_points or point.index in merged_failures:
                     raise ValueError(
                         f"point index {point.index} appears in more than one shard"
                     )
                 merged_points[point.index] = point
+            for failure in result.failures:
+                if failure.index < 0:
+                    # a reference failure is not a grid point; shards of the
+                    # same workload may each record one — keep the first
+                    if not any(
+                        f.failure_key() == failure.failure_key() for f in reference_failures
+                    ):
+                        reference_failures.append(failure)
+                    continue
+                if failure.index in merged_points or failure.index in merged_failures:
+                    raise ValueError(
+                        f"point index {failure.index} appears in more than one shard"
+                    )
+                merged_failures[failure.index] = failure
             for name, ref in result.references.items():
                 references.setdefault(name, ref)
 
         base = results[0].spec.unsharded()
         expected = [p.index for p in base.full_grid()]
-        missing = sorted(set(expected) - set(merged_points))
+        # a failed point still covers its grid cell — merge must not demand
+        # that some other shard recompute it
+        missing = sorted(set(expected) - set(merged_points) - set(merged_failures))
         if missing:
             raise ValueError(
                 f"merged shards do not cover the full grid; missing point "
@@ -359,10 +581,12 @@ class SweepResult:
             }
         return cls(
             spec=base,
-            points=[merged_points[index] for index in expected],
+            points=[merged_points[index] for index in expected if index in merged_points],
             references=references,
             cache_stats=cache_stats,
             elapsed_seconds=float(sum(r.elapsed_seconds for r in results)),
+            failures=reference_failures
+            + [merged_failures[index] for index in expected if index in merged_failures],
         )
 
 
@@ -393,7 +617,26 @@ def run_reference(workload, plane: str = "auto") -> Outcome:
     return workload.reference()
 
 
-def _execute_reference(task: _ReferenceTask) -> ReferenceResult:
+def _execute_reference(task: _ReferenceTask):
+    if task.on_error != "collect":
+        maybe_inject("reference", task.workload)
+        return _run_reference_task(task)
+    started = time.perf_counter()
+    try:
+        maybe_inject("reference", task.workload)
+        return _run_reference_task(task)
+    except Exception as exc:
+        return _exception_failure(
+            exc,
+            index=-1,
+            workload=task.workload,
+            format_name="-",
+            policy="-",
+            seconds=time.perf_counter() - started,
+        )
+
+
+def _run_reference_task(task: _ReferenceTask) -> ReferenceResult:
     workload = create_workload(task.workload, **task.config_kwargs)
     outcome = run_reference(workload, plane=task.plane).detach()
     # key the result by the name the spec used (possibly an alias), so the
@@ -402,8 +645,27 @@ def _execute_reference(task: _ReferenceTask) -> ReferenceResult:
     return outcome
 
 
-def _execute_point(task: _PointTask) -> PointResult:
+def _execute_point(task: _PointTask):
     started = time.perf_counter()
+    if task.on_error != "collect":
+        maybe_inject("point", task.point.index)
+        return _run_point_task(task, started)
+    point = task.point
+    try:
+        maybe_inject("point", point.index)
+        return _run_point_task(task, started, check_finite=True)
+    except Exception as exc:
+        return _exception_failure(
+            exc,
+            index=point.index,
+            workload=point.workload,
+            format_name=point.format_name,
+            policy=point.policy.describe(),
+            seconds=time.perf_counter() - started,
+        )
+
+
+def _run_point_task(task: _PointTask, started: float, check_finite: bool = False) -> PointResult:
     point = task.point
     workload = create_workload(point.workload, **task.config_kwargs)
     runtime = RaptorRuntime(f"{point.workload}-{point.format_name}-{point.policy.describe()}")
@@ -411,6 +673,15 @@ def _execute_point(task: _PointTask) -> PointResult:
         point.fmt, runtime, rounding=task.rounding, plane=task.plane, count_ops=task.count_ops
     )
     run = workload.run(policy=policy, runtime=runtime)
+    if check_finite:
+        # collect mode reports a blow-up as a structured failure instead of
+        # letting NaN/Inf flow into the error norms downstream
+        bad = nonfinite_variables(run.state)
+        if bad:
+            raise NonFiniteStateError(
+                f"non-finite values in final state variable(s) {bad} at "
+                f"t={run.time:g} — the truncated run blew up"
+            )
 
     reference = Outcome(
         workload=point.workload,
@@ -481,6 +752,27 @@ def _resolve_cache(
     return ReferenceCache(directory)
 
 
+def checkpoint_signature(spec: SweepSpec) -> str:
+    """Identity of a sweep for checkpoint/resume purposes.
+
+    Built on the shard-merge signature (grid, error protocol, plane,
+    counting mode, workload configs) plus the fields that change what a
+    journaled :class:`PointResult` *contains* (``keep_states``) or which
+    points this spec runs (the shard slice).  Backend, worker count,
+    timeout and retry settings are deliberately excluded: results are
+    backend-independent, so a sweep may be resumed on a different backend
+    or with different fault-tolerance settings and still complete
+    bit-identically.
+    """
+    payload = (
+        SweepResult._merge_signature(spec),
+        spec.keep_states,
+        spec.shard_index,
+        spec.shard_count,
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
 def gather_references(
     names: Sequence[str],
     config_kwargs_fn,
@@ -488,15 +780,22 @@ def gather_references(
     backend: str = "serial",
     max_workers: Optional[int] = None,
     plane: str = "auto",
-) -> Dict[str, ReferenceResult]:
+    on_error: str = "raise",
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> Dict[str, Union[ReferenceResult, PointFailure]]:
     """Phase 1 of every experiment: one full-precision reference per
     workload, served from ``cache`` when possible and computed on the
     execution backend otherwise — by default on the fused fast plane
     (``plane="auto"``; see :func:`run_reference`), which is bit-identical
     and several times faster than the counting reference path.  Shared by
     :func:`run_sweep` and the adaptive cliff search
-    (:mod:`repro.experiments.adaptive`)."""
-    references: Dict[str, ReferenceResult] = {}
+    (:mod:`repro.experiments.adaptive`).
+
+    With ``on_error="collect"`` a failing reference maps its workload name
+    to a :class:`PointFailure` (``index=-1``) instead of raising; failed
+    references are never cached."""
+    references: Dict[str, Union[ReferenceResult, PointFailure]] = {}
     if cache is not None:
         keys = {name: reference_key(name, config_kwargs_fn(name)) for name in names}
         missing = []
@@ -511,12 +810,28 @@ def gather_references(
         missing = list(names)
 
     reference_tasks = [
-        _ReferenceTask(workload=name, config_kwargs=config_kwargs_fn(name), plane=plane)
+        _ReferenceTask(
+            workload=name, config_kwargs=config_kwargs_fn(name), plane=plane, on_error=on_error
+        )
         for name in missing
     ]
-    for ref in run_tasks(
-        _execute_reference, reference_tasks, backend=backend, max_workers=max_workers
-    ):
+    outcomes = run_tasks(
+        _execute_reference,
+        reference_tasks,
+        backend=backend,
+        max_workers=max_workers,
+        timeout=timeout,
+        retries=retries,
+        collect=(on_error == "collect"),
+    )
+    for task, ref in zip(reference_tasks, outcomes):
+        if isinstance(ref, TaskFault):
+            ref = _fault_failure(
+                ref, index=-1, workload=task.workload, format_name="-", policy="-"
+            )
+        if isinstance(ref, PointFailure):
+            references[task.workload] = ref
+            continue
         references[ref.workload] = ref
         if cache is not None:
             cache.put(keys[ref.workload], ref)
@@ -524,7 +839,9 @@ def gather_references(
 
 
 def run_sweep(
-    spec: SweepSpec, cache: Union[ReferenceCache, str, None] = None
+    spec: SweepSpec,
+    cache: Union[ReferenceCache, str, None] = None,
+    checkpoint: Union[str, Path, None] = None,
 ) -> SweepResult:
     """Execute a precision sweep described by ``spec``.
 
@@ -536,26 +853,86 @@ def run_sweep(
     backend, comparing each truncated run against its workload's reference.
     Results come back in the deterministic grid order of
     :meth:`SweepSpec.points` (the shard's slice when the spec is sharded).
+
+    ``checkpoint`` names a journal directory making the sweep crash-safe:
+    every completed point (and failure, in collect mode) is persisted with
+    atomic write-then-rename as soon as it resolves.  Rerunning with the
+    same spec and checkpoint loads the journal, runs only the missing
+    points, and returns a result bitwise identical to an uninterrupted run
+    (the same guarantee class as shard/merge).  A journal written by a
+    different spec (grid, plane, configs, …) is rejected with
+    :class:`~repro.experiments.journal.CheckpointMismatchError`.
+
+    Fault tolerance is configured on the spec: ``on_error="collect"``
+    isolates per-point failures into :attr:`SweepResult.failures`;
+    ``point_timeout`` bounds each point on the process backend;
+    ``retries`` bounds fresh-pool rebuilds for transient worker crashes.
     """
     spec.validate()
     started = time.perf_counter()
     points = spec.points()
+    collect = spec.on_error == "collect"
+
+    journal: Optional[SweepJournal] = None
+    done: Dict[int, Union[PointResult, PointFailure]] = {}
+    journal_refs: Dict[str, ReferenceResult] = {}
+    if checkpoint is not None:
+        journal = SweepJournal(checkpoint)
+        journal.open(checkpoint_signature(spec), total_points=len(points))
+        done = journal.load_points()
+        journal_refs = journal.load_references()
+
     ref_cache = _resolve_cache(spec, cache)
     # cache stats reported on the result are *this run's* delta, so a cache
     # object shared across sweeps still yields per-run hit/miss numbers
     stats_before = ref_cache.stats.to_dict() if ref_cache is not None else None
 
     # a sharded spec may not touch every workload of the base spec; only
-    # the workloads actually present in this slice need references
+    # the workloads actually present in this slice need references.  On
+    # resume, journaled references take priority — the very arrays the
+    # journaled points were compared against — so a resumed run never
+    # recomputes (or re-fetches) what the interrupted run already fixed.
     needed = list(dict.fromkeys(point.workload for point in points))
-    references = gather_references(
-        needed,
+    references: Dict[str, ReferenceResult] = {
+        name: ref for name, ref in journal_refs.items() if name in needed
+    }
+    gathered = gather_references(
+        [name for name in needed if name not in references],
         spec.config_kwargs,
         cache=ref_cache,
         backend=spec.backend,
         max_workers=spec.max_workers,
         plane=spec.plane,
+        on_error=spec.on_error,
+        timeout=spec.point_timeout,
+        retries=spec.retries,
     )
+    ref_failures: Dict[str, PointFailure] = {}
+    for name, ref in gathered.items():
+        if isinstance(ref, PointFailure):
+            ref_failures[name] = ref
+        else:
+            references[name] = ref
+            if journal is not None:
+                journal.record_reference(name, ref)
+
+    failures: Dict[int, PointFailure] = {
+        index: obj for index, obj in done.items() if isinstance(obj, PointFailure)
+    }
+    completed: Dict[int, PointResult] = {
+        index: obj for index, obj in done.items() if isinstance(obj, PointResult)
+    }
+    todo = []
+    for point in points:
+        if point.index in done:
+            continue
+        if point.workload in ref_failures:
+            failure = _reference_failure_for_point(point, ref_failures[point.workload])
+            failures[point.index] = failure
+            if journal is not None:
+                journal.record_point(point.index, failure)
+        else:
+            todo.append(point)
 
     # every task carries its workload's reference arrays; at the checkpoint
     # sizes these experiments use (tens to hundreds of KB) re-pickling the
@@ -572,20 +949,55 @@ def run_sweep(
             keep_state=spec.keep_states,
             plane=spec.plane,
             count_ops=spec.count_point_ops,
+            on_error=spec.on_error,
         )
-        for point in points
+        for point in todo
     ]
+
+    def _coerce(point: SweepPoint, value):
+        if isinstance(value, TaskFault):
+            return _fault_failure(
+                value,
+                index=point.index,
+                workload=point.workload,
+                format_name=point.format_name,
+                policy=point.policy.describe(),
+            )
+        return value
+
+    def on_result(pos: int, value) -> None:
+        # fires as each point resolves, before map() returns — the journal
+        # entry is on disk even if this process dies mid-sweep
+        if journal is not None:
+            journal.record_point(todo[pos].index, _coerce(todo[pos], value))
+
     results = run_tasks(
-        _execute_point, point_tasks, backend=spec.backend, max_workers=spec.max_workers
+        _execute_point,
+        point_tasks,
+        backend=spec.backend,
+        max_workers=spec.max_workers,
+        timeout=spec.point_timeout,
+        retries=spec.retries,
+        collect=collect,
+        on_result=on_result if journal is not None else None,
     )
+    for pos, value in enumerate(results):
+        value = _coerce(todo[pos], value)
+        if isinstance(value, PointFailure):
+            failures[todo[pos].index] = value
+        else:
+            completed[todo[pos].index] = value
+
     cache_stats = None
     if ref_cache is not None:
         after = ref_cache.stats.to_dict()
         cache_stats = {key: after[key] - stats_before[key] for key in after}
     return SweepResult(
         spec=spec,
-        points=list(results),
+        points=[completed[p.index] for p in points if p.index in completed],
         references=references,
         cache_stats=cache_stats,
         elapsed_seconds=time.perf_counter() - started,
+        failures=[f for f in ref_failures.values()]
+        + [failures[p.index] for p in points if p.index in failures],
     )

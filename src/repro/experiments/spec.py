@@ -36,6 +36,7 @@ __all__ = [
     "validate_workload_list",
     "validate_alias_keyed_mapping",
     "validate_config_overrides",
+    "validate_fault_tolerance",
 ]
 
 _POLICY_KINDS = ("none", "global", "amr-cutoff", "module")
@@ -138,6 +139,19 @@ def validate_alias_keyed_mapping(
                 f"to workload {canonical!r}"
             )
         resolved[canonical] = name
+
+
+def validate_fault_tolerance(
+    on_error: str, point_timeout: Optional[float], retries: Optional[int]
+) -> None:
+    """Check the fault-tolerance knobs shared by :class:`SweepSpec` and
+    :class:`~repro.experiments.adaptive.AdaptiveSpec`."""
+    if on_error not in ("raise", "collect"):
+        raise ValueError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
+    if point_timeout is not None and not point_timeout > 0:
+        raise ValueError(f"point_timeout must be > 0 seconds (or None), got {point_timeout!r}")
+    if retries is not None and retries < 0:
+        raise ValueError(f"retries must be >= 0 (or None for the default), got {retries!r}")
 
 
 def validate_config_overrides(workload_configs: Mapping[str, Mapping[str, object]]) -> None:
@@ -321,6 +335,22 @@ class SweepSpec:
     shard_index / shard_count:
         This spec's slice of the expanded grid.  The default ``0 / 1`` is
         the whole grid; :meth:`shard` produces the partitioned copies.
+    on_error:
+        ``"raise"`` (default): the first failing point aborts the sweep,
+        today's behaviour.  ``"collect"``: failing points — exceptions,
+        non-finite blow-ups, timeouts, crashing workers — become structured
+        :class:`~repro.experiments.engine.PointFailure` records on
+        ``SweepResult.failures`` while the healthy points complete
+        bit-identically to a fault-free run.
+    point_timeout:
+        Per-point deadline in seconds, enforced by the process backend
+        (hung workers are killed and the pool rebuilt); the serial backend
+        cannot enforce it and warns.  ``None`` (default) disables it.
+    retries:
+        Fresh-pool rebuilds granted to a task whose worker keeps dying
+        (transient crash / OOM), with exponential backoff between rebuilds.
+        ``None`` (default) keeps the historical one-retry-no-backoff
+        behaviour; deterministic solver errors are never retried.
     """
 
     workloads: Sequence[str] = ("sedov",)
@@ -337,6 +367,16 @@ class SweepSpec:
     cache_dir: Optional[str] = None
     shard_index: int = 0
     shard_count: int = 1
+    on_error: str = "raise"
+    point_timeout: Optional[float] = None
+    retries: Optional[int] = None
+
+    def __setstate__(self, state) -> None:
+        # specs pickled before the fault-tolerance fields existed (old
+        # shard/result files) default them on load
+        self.__dict__.update(state)
+        for name, default in (("on_error", "raise"), ("point_timeout", None), ("retries", None)):
+            self.__dict__.setdefault(name, default)
 
     # ------------------------------------------------------------------
     def resolved_formats(self) -> Tuple[FPFormat, ...]:
@@ -366,6 +406,7 @@ class SweepSpec:
                 "SweepSpec needs at least one error variable "
                 "(or variables=None for per-workload defaults)"
             )
+        validate_fault_tolerance(self.on_error, self.point_timeout, self.retries)
         seen = validate_workload_list(self.workloads, "SweepSpec")
         if self.variables is not None:
             for name in self.workloads:

@@ -15,9 +15,38 @@ The process backend degrades gracefully: if worker processes cannot be
 created (restricted sandboxes, missing semaphores) or the pool breaks
 mid-flight, the remaining tasks are executed serially and a warning is
 emitted instead of failing the sweep.  A worker killed abruptly (crash,
-OOM) is retried in a fresh pool rather than rerun in the parent; a task
-that deterministically kills fresh pools is surfaced as
-:class:`~concurrent.futures.process.BrokenProcessPool`.
+OOM) is retried in a fresh pool rather than rerun in the parent; completed
+results sitting in the broken pool's futures are salvaged, never recomputed.
+A task that deterministically kills fresh pools is surfaced as
+:class:`~concurrent.futures.process.BrokenProcessPool` — or, in *collect*
+mode, recorded as a :class:`TaskFault` sentinel so the rest of the batch
+still completes.
+
+On top of that sits the fault-tolerance surface used by
+``SweepSpec(point_timeout=..., retries=..., on_error="collect")``:
+
+* ``timeout`` — a per-task deadline enforced with
+  ``future.result(timeout=...)`` while waiting on the frontier task.  On
+  expiry the hung workers are killed (they cannot be cancelled — the task
+  is already running), completed results are salvaged, and the pool is
+  rebuilt for the remaining tasks.
+* ``retries`` — how many fresh-pool rebuilds a crashing frontier task is
+  granted before the crash is treated as deterministic (default 1, today's
+  behaviour), with exponential backoff between rebuilds when the caller
+  set it explicitly.  Retries only ever apply to *transient* executor
+  failures (broken pool, pool creation); a task that raises an ordinary
+  exception is never rerun — deterministic solver errors must surface,
+  not multiply.
+* ``collect`` — instead of raising, resolve timed-out and
+  deterministically-crashing tasks to :class:`TaskFault` records.  To
+  attribute a crash to the right task when several suspects share a pool,
+  the backend degrades to *isolation*: each remaining task runs in its own
+  single-worker pool, where "the pool broke" identifies the culprit
+  exactly.
+* ``on_result`` — a callback fired exactly once per task, as each result
+  resolves (completion, salvage, or fault).  The checkpoint journal hangs
+  off this: a result is on disk even if the parent dies before ``map``
+  returns.
 
 Entry points
 ------------
@@ -35,16 +64,21 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 __all__ = [
     "BACKENDS",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "TaskFault",
+    "TaskTimeoutError",
     "get_backend",
     "run_tasks",
 ]
@@ -59,6 +93,42 @@ _FORCE_SERIAL_ENV = "RAPTOR_FORCE_SERIAL"
 #: environment cap on process-pool workers (applies only when the caller
 #: does not pass ``max_workers`` explicitly)
 _MAX_WORKERS_ENV = "RAPTOR_MAX_WORKERS"
+
+#: payload-won't-pickle errors: CPython reports these as PicklingError,
+#: TypeError ("cannot pickle '_thread.lock'") or AttributeError ("Can't
+#: pickle local object") depending on the object
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+
+@dataclass(frozen=True)
+class TaskFault:
+    """Executor-level failure sentinel returned in *collect* mode.
+
+    Stands in the result list for a task the executor could not complete:
+    a hung task killed at its ``timeout`` deadline, or a task that kept
+    breaking fresh pools.  Callers translate these into their own failure
+    records (the sweep engine turns them into ``PointFailure``); the
+    executor deliberately knows nothing about task semantics.
+    """
+
+    kind: str  # "timeout" | "worker-crash"
+    index: int  # position in the submitted task list
+    message: str
+    elapsed: float = 0.0
+    retries: int = 0
+
+
+class TaskTimeoutError(TimeoutError):
+    """A task exceeded its deadline (raise mode); the hung worker was killed."""
+
+    def __init__(self, index: int, elapsed: float, timeout: float) -> None:
+        super().__init__(
+            f"task {index} exceeded its {timeout:g}s timeout "
+            f"(waited {elapsed:.1f}s); hung worker(s) killed"
+        )
+        self.index = index
+        self.elapsed = elapsed
+        self.timeout = timeout
 
 
 def _env_truthy(value: Optional[str]) -> bool:
@@ -83,12 +153,34 @@ def _env_worker_cap() -> Optional[int]:
     return cap if cap >= 1 else None
 
 
+def _backoff_sleep(attempt: int) -> None:
+    """Exponential backoff before rebuilding a pool (explicit retries only):
+    0.1s, 0.2s, 0.4s, ... capped at 2s — enough for a transient resource
+    squeeze (OOM-killer pressure, fork storms) to pass, short enough not to
+    dominate a sweep."""
+    time.sleep(min(0.1 * (2 ** max(attempt - 1, 0)), 2.0))
+
+
 class ExecutionBackend:
-    """Maps ``fn`` over ``tasks``, returning results in task order."""
+    """Maps ``fn`` over ``tasks``, returning results in task order.
+
+    All backends accept the fault-tolerance keywords; the serial backend
+    ignores ``timeout``/``retries`` (nothing to kill or rebuild in-process)
+    but honours ``on_result``.
+    """
 
     name = "abstract"
 
-    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        collect: bool = False,
+        on_result: Optional[Callable[[int, object], None]] = None,
+    ) -> List[R]:
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -100,8 +192,31 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
-        return [fn(task) for task in tasks]
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        collect: bool = False,
+        on_result: Optional[Callable[[int, object], None]] = None,
+    ) -> List[R]:
+        if timeout is not None and tasks:
+            warnings.warn(
+                "the serial backend cannot enforce a point timeout (the task "
+                "runs in this process; there is no worker to kill) — running "
+                "without a deadline; use backend='process' to enforce it",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        results: List[R] = []
+        for pos, task in enumerate(tasks):
+            value = fn(task)
+            if on_result is not None:
+                on_result(pos, value)
+            results.append(value)
+        return results
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -124,71 +239,318 @@ class ProcessPoolBackend(ExecutionBackend):
             limit = _env_worker_cap() or (os.cpu_count() or 1)
         return max(1, min(limit, n_tasks))
 
-    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        """SIGKILL the pool's workers.  A *hung* task cannot be cancelled —
+        it is already running — so reclaiming the worker is the only way to
+        enforce a deadline."""
+        for proc in list(getattr(pool, "_processes", {}).values() or []):
+            try:
+                proc.kill()
+            except Exception:
+                pass
+
+    @staticmethod
+    def _salvage(
+        submitted: Dict[int, Future],
+        resolved: Dict[int, object],
+        resolve: Callable[[int, object], None],
+        skip: Optional[int] = None,
+    ) -> int:
+        """Harvest results that completed before the pool broke or timed
+        out, so the rebuilt pool only reruns genuinely unfinished tasks.
+        Futures that completed *with an exception* are left pending: rerun,
+        the task re-raises deterministically on the normal gather path."""
+        salvaged = 0
+        for pos, future in submitted.items():
+            if pos in resolved or pos == skip:
+                continue
+            if not future.done() or future.cancelled():
+                continue
+            try:
+                if future.exception(timeout=0) is not None:
+                    continue
+                value = future.result(timeout=0)
+            except Exception:
+                continue
+            resolve(pos, value)
+            salvaged += 1
+        return salvaged
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        collect: bool = False,
+        on_result: Optional[Callable[[int, object], None]] = None,
+    ) -> List[R]:
         if not tasks:
             return []
+        serial = SerialBackend()
         if _env_truthy(os.environ.get(_FORCE_SERIAL_ENV)):
-            return SerialBackend().map(fn, tasks)
+            return serial.map(fn, tasks, timeout=timeout, on_result=on_result)
         workers = self._effective_workers(len(tasks))
-        if workers == 1:
-            return SerialBackend().map(fn, tasks)
+        if workers == 1 and timeout is None:
+            # in-process shortcut for the single-worker case — unless a
+            # deadline was requested, which only a killable pool can enforce
+            return serial.map(fn, tasks, on_result=on_result)
 
-        results: List[R] = []
-        remaining = list(tasks)
-        stalled_at: Optional[int] = None  # result count at the last zero-progress break
-        while remaining:
+        # how many fresh-pool rebuilds a crashing frontier task is granted;
+        # the default (retries=None) matches the historical behaviour of
+        # "one retry, no backoff"
+        allowed = 1 if retries is None else retries
+        do_backoff = retries is not None
+
+        resolved: Dict[int, object] = {}
+
+        def resolve(pos: int, value: object) -> None:
+            resolved[pos] = value
+            if on_result is not None:
+                on_result(pos, value)
+
+        def run_serially(positions: List[int], exc: BaseException) -> None:
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                f"running {len(positions)} remaining task(s) serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            for pos in positions:
+                resolve(pos, fn(tasks[pos]))
+
+        pending: List[int] = list(range(len(tasks)))
+        crash_rounds: Dict[int, int] = {}  # frontier position -> broken-pool rounds
+        creation_failures = 0
+        while pending:
             try:
-                pool = ProcessPoolExecutor(max_workers=min(workers, len(remaining)))
+                pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
             except (OSError, ValueError, RuntimeError) as exc:
                 # pool creation fails in sandboxes without /dev/shm or fork;
-                # serial execution in-process is safe here because nothing
-                # ran yet that could have crashed a worker
-                return results + self._fall_back(fn, remaining, exc)
-            gathered_before = len(results)
-            try:
-                with pool:
-                    futures = [pool.submit(fn, task) for task in remaining]
-                    for future in futures:
-                        results.append(future.result())
-                return results
-            except (pickle.PicklingError, TypeError, AttributeError) as exc:
-                # the payload would not pickle — CPython reports this as
-                # PicklingError, TypeError ("cannot pickle '_thread.lock'")
-                # or AttributeError ("Can't pickle local object") depending
-                # on the object — a plain programming problem, safe to
-                # finish serially.  A TypeError/AttributeError raised inside
-                # fn lands here too; the serial rerun re-raises it unchanged,
-                # so correctness is preserved at the cost of the rerun.
-                completed = len(results) - gathered_before
-                return results + self._fall_back(fn, remaining[completed:], exc)
-            except BrokenProcessPool as exc:
-                # A worker died (crash, OOM kill).  Never rerun the suspect
-                # task in the parent process — whatever killed the worker
-                # would then kill the whole run.  Retry the remaining tasks
-                # in a fresh pool; if the frontier task breaks a fresh pool
-                # without any progress twice, treat the crash as
-                # deterministic and surface it.
-                completed = len(results) - gathered_before
-                if completed == 0 and stalled_at == len(results):
-                    raise
-                stalled_at = len(results) if completed == 0 else None
-                remaining = remaining[completed:]
-                warnings.warn(
-                    f"process pool broke ({exc}); retrying {len(remaining)} "
-                    "remaining task(s) in a fresh pool",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-        return results
+                # with explicit retries it is also how fork-storm pressure
+                # shows up, so grant the same bounded retry budget before
+                # degrading.  Serial execution in-process is safe here
+                # because nothing ran yet that could have crashed a worker.
+                creation_failures += 1
+                if do_backoff and creation_failures <= allowed:
+                    warnings.warn(
+                        f"process pool creation failed ({type(exc).__name__}: {exc}); "
+                        f"retry {creation_failures}/{allowed} after backoff",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    _backoff_sleep(creation_failures)
+                    continue
+                run_serially(pending, exc)
+                pending = []
+                break
 
-    def _fall_back(self, fn, tasks, exc) -> List[R]:
+            submitted: Dict[int, Future] = {}
+            rebuild = False
+            try:
+                for pos in pending:
+                    submitted[pos] = pool.submit(fn, tasks[pos])
+                for pos in pending:
+                    future = submitted[pos]
+                    waited_from = time.monotonic()
+                    try:
+                        value = future.result(timeout=timeout)
+                    except FutureTimeoutError:
+                        if future.done():
+                            # the task itself raised a TimeoutError — an
+                            # ordinary task error, not a hang
+                            raise
+                        elapsed = time.monotonic() - waited_from
+                        self._kill_workers(pool)
+                        salvaged = self._salvage(submitted, resolved, resolve, skip=pos)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        if not collect:
+                            raise TaskTimeoutError(pos, elapsed, timeout) from None
+                        resolve(
+                            pos,
+                            TaskFault(
+                                kind="timeout",
+                                index=pos,
+                                message=(
+                                    f"exceeded the {timeout:g}s point timeout "
+                                    f"(waited {elapsed:.1f}s); hung worker(s) killed"
+                                ),
+                                elapsed=elapsed,
+                            ),
+                        )
+                        pending = [p for p in pending if p not in resolved]
+                        warnings.warn(
+                            f"task {pos} exceeded its {timeout:g}s timeout; killed "
+                            f"hung worker(s), salvaged {salvaged} completed "
+                            f"result(s), retrying {len(pending)} remaining task(s) "
+                            "in a fresh pool",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        rebuild = True
+                        break
+                    except _PICKLE_ERRORS as exc:
+                        # the payload would not pickle — a plain programming
+                        # problem, safe to finish serially.  A TypeError /
+                        # AttributeError raised inside fn lands here too; the
+                        # serial rerun re-raises it unchanged, so correctness
+                        # is preserved at the cost of the rerun.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        run_serially([p for p in pending if p not in resolved], exc)
+                        pending = []
+                        rebuild = True
+                        break
+                    except BrokenProcessPool as exc:
+                        # A worker died (crash, OOM kill).  Never rerun the
+                        # suspect task in the parent process — whatever killed
+                        # the worker would then kill the whole run.  Salvage
+                        # what completed, then retry the rest in a fresh pool;
+                        # a frontier task that keeps breaking fresh pools
+                        # without progress is treated as deterministic.
+                        salvaged = self._salvage(submitted, resolved, resolve)
+                        pool.shutdown(wait=False)
+                        pending = [p for p in pending if p not in resolved]
+                        frontier = pending[0]
+                        rounds = crash_rounds.get(frontier, 0) + 1
+                        crash_rounds[frontier] = rounds
+                        if rounds > allowed:
+                            if not collect:
+                                raise
+                            # several suspects may share the pool when it
+                            # breaks; isolate to attribute the crash (and any
+                            # concurrent hang) to the right task exactly
+                            self._isolate(
+                                fn, tasks, pending, timeout, allowed, resolve, crash_rounds
+                            )
+                            pending = []
+                        else:
+                            warnings.warn(
+                                f"process pool broke ({exc}); salvaged {salvaged} "
+                                f"completed result(s), retrying {len(pending)} "
+                                "remaining task(s) in a fresh pool",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                            if do_backoff:
+                                _backoff_sleep(rounds)
+                        rebuild = True
+                        break
+                    else:
+                        resolve(pos, value)
+            except BaseException:
+                # a task exception (raise mode), TaskTimeoutError, or a
+                # deterministic BrokenProcessPool is propagating: abandon the
+                # pool without waiting — its workers may already be dead
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            if not rebuild:
+                pool.shutdown()
+                pending = []
+        return [resolved[pos] for pos in range(len(tasks))]
+
+    def _isolate(
+        self,
+        fn,
+        tasks,
+        positions: List[int],
+        timeout: Optional[float],
+        allowed: int,
+        resolve: Callable[[int, object], None],
+        crash_rounds: Dict[int, int],
+    ) -> None:
+        """Collect-mode endgame: run each remaining task in its own
+        single-worker pool.  With one suspect per pool, "the pool broke"
+        convicts that task, and a deadline expiry is a hang of that task —
+        attribution is exact, at the cost of a pool per task."""
         warnings.warn(
-            f"process pool unavailable ({type(exc).__name__}: {exc}); "
-            f"running {len(tasks)} remaining task(s) serially",
+            f"repeated pool crashes with no progress; isolating the remaining "
+            f"{len(positions)} task(s) in single-worker pools to attribute the fault",
             RuntimeWarning,
             stacklevel=3,
         )
-        return SerialBackend().map(fn, tasks)
+        for pos in positions:
+            while True:
+                try:
+                    pool = ProcessPoolExecutor(max_workers=1)
+                except (OSError, ValueError, RuntimeError) as exc:
+                    run_exc = exc
+                    warnings.warn(
+                        f"process pool unavailable ({type(run_exc).__name__}: {run_exc}); "
+                        "running isolated task serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    resolve(pos, fn(tasks[pos]))
+                    break
+                future = pool.submit(fn, tasks[pos])
+                waited_from = time.monotonic()
+                try:
+                    value = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    if future.done():
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+                    elapsed = time.monotonic() - waited_from
+                    self._kill_workers(pool)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    resolve(
+                        pos,
+                        TaskFault(
+                            kind="timeout",
+                            index=pos,
+                            message=(
+                                f"exceeded the {timeout:g}s point timeout "
+                                f"(waited {elapsed:.1f}s); hung worker(s) killed"
+                            ),
+                            elapsed=elapsed,
+                            retries=crash_rounds.get(pos, 0),
+                        ),
+                    )
+                    break
+                except _PICKLE_ERRORS as exc:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    run_serially_exc = exc
+                    warnings.warn(
+                        f"task {pos} would not pickle ({type(run_serially_exc).__name__}: "
+                        f"{run_serially_exc}); running it serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    resolve(pos, fn(tasks[pos]))
+                    break
+                except BrokenProcessPool as exc:
+                    pool.shutdown(wait=False)
+                    rounds = crash_rounds.get(pos, 0) + 1
+                    crash_rounds[pos] = rounds
+                    if rounds > allowed:
+                        resolve(
+                            pos,
+                            TaskFault(
+                                kind="worker-crash",
+                                index=pos,
+                                message=(
+                                    f"worker died ({exc}) in {rounds} consecutive "
+                                    "pool(s); treating the crash as deterministic"
+                                ),
+                                retries=rounds - 1,
+                            ),
+                        )
+                        break
+                    warnings.warn(
+                        f"isolated worker for task {pos} died ({exc}); "
+                        f"retry {rounds}/{allowed} in a fresh pool",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    _backoff_sleep(rounds)
+                else:
+                    pool.shutdown()
+                    resolve(pos, value)
+                    break
 
     def describe(self) -> str:
         return f"process(max_workers={self.max_workers or 'auto'})"
@@ -225,6 +587,18 @@ def run_tasks(
     tasks: Sequence[T],
     backend="serial",
     max_workers: Optional[int] = None,
+    *,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    collect: bool = False,
+    on_result: Optional[Callable[[int, object], None]] = None,
 ) -> List[R]:
-    """Map ``fn`` over ``tasks`` on the chosen backend, in task order."""
-    return get_backend(backend, max_workers=max_workers).map(fn, tasks)
+    """Map ``fn`` over ``tasks`` on the chosen backend, in task order.
+
+    ``timeout`` / ``retries`` / ``collect`` / ``on_result`` are the
+    fault-tolerance surface documented on :class:`ProcessPoolBackend`; the
+    defaults reproduce the historical behaviour exactly.
+    """
+    return get_backend(backend, max_workers=max_workers).map(
+        fn, tasks, timeout=timeout, retries=retries, collect=collect, on_result=on_result
+    )

@@ -1,0 +1,24 @@
+"""Deterministic test harnesses for the fault-tolerance layer.
+
+This package is test infrastructure, not physics: it is excluded from the
+reference-cache solver fingerprint (see
+``repro.experiments.cache._NON_PHYSICS_PACKAGES``) so editing an injector
+never invalidates cached physics references.
+"""
+from .faults import (
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    clear_fault_plan,
+    current_fault_plan,
+    maybe_inject,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "clear_fault_plan",
+    "current_fault_plan",
+    "maybe_inject",
+]

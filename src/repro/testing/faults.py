@@ -1,0 +1,224 @@
+"""Plan-driven, deterministic fault injection for sweep tests.
+
+The fault-tolerance layer (per-point failure isolation, timeouts, hung-worker
+kill, crash-safe resume) is only trustworthy if every failure path can be
+exercised on demand, in-process *and* inside pool workers.  This module
+provides that:
+
+* A :class:`FaultPlan` is a set of :class:`Fault` triggers — *raise an
+  exception*, *hang*, or *SIGKILL the current process* — each bound to an
+  injection site (``"point"``, ``"reference"``, ``"cell"``, or any string a
+  test chooses) and a key (e.g. the sweep-point index).
+* :meth:`FaultPlan.installed` publishes the plan through the
+  ``RAPTOR_FAULT_PLAN`` environment variable as JSON, so pool workers —
+  which inherit the parent's environment regardless of start method — see
+  the same plan without any pickling cooperation from the executor.
+* Production code calls :func:`maybe_inject` at its injection sites.  With
+  no plan installed this is a single ``os.environ.get`` — cheap enough to
+  leave in the hot path permanently.
+* Bounded triggers (``times=1`` — "fire once, ever, across all processes")
+  are counted through exclusive marker-file creation in the plan's
+  ``marker_dir``: the first process to create ``<site>-<key>-<n>`` wins that
+  firing.  This is what makes *transient* faults expressible — a worker that
+  is SIGKILLed exactly once, then succeeds on retry — and it survives the
+  injected process dying immediately afterwards.
+
+Nothing here is imported by production code except :func:`maybe_inject`.
+"""
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "clear_fault_plan",
+    "current_fault_plan",
+    "maybe_inject",
+]
+
+#: environment variable carrying the JSON-encoded plan across process
+#: boundaries (pool workers inherit it)
+FAULT_PLAN_ENV = "RAPTOR_FAULT_PLAN"
+
+_KINDS = ("raise", "hang", "kill")
+
+
+class FaultInjected(RuntimeError):
+    """The exception raised by ``kind="raise"`` faults."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One trigger of a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    site:
+        Name of the injection site (``"point"``, ``"reference"``,
+        ``"cell"``, or whatever string the call site uses).
+    key:
+        Site-specific identity, e.g. the sweep-point index.  Compared as a
+        string so integer and string keys spell the same trigger.
+    kind:
+        ``"raise"`` → raise :class:`FaultInjected`;
+        ``"hang"`` → ``time.sleep(seconds)``;
+        ``"kill"`` → ``SIGKILL`` the current process (no cleanup, no
+        exception — exactly what an OOM kill looks like to the parent).
+    times:
+        How many firings, counted across *all* processes sharing the plan
+        (``None`` = unlimited, i.e. deterministic).  ``times=1`` models a
+        transient fault that disappears on retry.
+    seconds:
+        Sleep duration for ``kind="hang"``.
+    message:
+        Exception text for ``kind="raise"``.
+    """
+
+    site: str
+    key: object
+    kind: str = "raise"
+    times: Optional[int] = 1
+    seconds: float = 3600.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {_KINDS}")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None for unlimited)")
+        # keys travel through JSON as strings; normalise eagerly so a plan
+        # compares equal across the environment-variable round trip
+        object.__setattr__(self, "key", str(self.key))
+
+    def matches(self, site: str, key: object) -> bool:
+        return self.site == site and str(self.key) == str(key)
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "key": str(self.key),
+            "kind": self.kind,
+            "times": self.times,
+            "seconds": self.seconds,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fault":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable, JSON-round-trippable set of faults plus the directory
+    where cross-process firing counters live."""
+
+    faults: Tuple[Fault, ...] = ()
+    marker_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        bounded = [f for f in self.faults if f.times is not None]
+        if bounded and not self.marker_dir:
+            raise ValueError(
+                "a plan with bounded faults (times is not None) needs a "
+                "marker_dir to count firings across processes"
+            )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"faults": [f.to_dict() for f in self.faults], "marker_dir": self.marker_dir}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(
+            faults=tuple(Fault.from_dict(f) for f in data["faults"]),
+            marker_dir=data.get("marker_dir"),
+        )
+
+    @contextmanager
+    def installed(self):
+        """Publish the plan via ``RAPTOR_FAULT_PLAN`` for this process and
+        every child it spawns; restore the previous value on exit."""
+        previous = os.environ.get(FAULT_PLAN_ENV)
+        os.environ[FAULT_PLAN_ENV] = self.to_json()
+        try:
+            yield self
+        finally:
+            if previous is None:
+                os.environ.pop(FAULT_PLAN_ENV, None)
+            else:
+                os.environ[FAULT_PLAN_ENV] = previous
+
+
+def current_fault_plan() -> Optional[FaultPlan]:
+    """The installed plan, or ``None``.  Malformed plans raise — a broken
+    injection harness must never silently disable itself."""
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        return None
+    return FaultPlan.from_json(raw)
+
+
+def clear_fault_plan() -> None:
+    """Remove any installed plan from this process's environment."""
+    os.environ.pop(FAULT_PLAN_ENV, None)
+
+
+def _claim_firing(fault: Fault, marker_dir: str) -> bool:
+    """Atomically claim one of the fault's remaining firings.
+
+    Firing ``n`` is represented by the exclusive creation of a marker file;
+    ``O_CREAT | O_EXCL`` makes each firing claimable by exactly one process,
+    and the files persist even if the claimant SIGKILLs itself on the next
+    line — which is precisely the semantics a ``times=1`` kill fault needs.
+    """
+    assert fault.times is not None
+    os.makedirs(marker_dir, exist_ok=True)
+    stem = f"{fault.site}-{fault.key}-{fault.kind}"
+    for firing in range(fault.times):
+        path = os.path.join(marker_dir, f"{stem}-{firing}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.write(fd, str(os.getpid()).encode())
+        os.close(fd)
+        return True
+    return False
+
+
+def maybe_inject(site: str, key: object) -> None:
+    """Fire any installed fault matching ``(site, key)``.
+
+    The no-plan fast path is one environment lookup, so production call
+    sites (``_execute_point``, ``_execute_reference``, ``_execute_cliff``)
+    keep this unconditionally.
+    """
+    if FAULT_PLAN_ENV not in os.environ:
+        return
+    plan = current_fault_plan()
+    if plan is None:
+        return
+    for fault in plan.faults:
+        if not fault.matches(site, key):
+            continue
+        if fault.times is not None and not _claim_firing(fault, plan.marker_dir):
+            continue
+        if fault.kind == "raise":
+            raise FaultInjected(f"{fault.message} (site={site}, key={key})")
+        if fault.kind == "hang":
+            time.sleep(fault.seconds)
+        elif fault.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)

@@ -191,6 +191,21 @@ class TestNpzStore:
         cache = ReferenceCache(tmp_path)
         assert cache.get(key) is None and cache.stats.misses == 1
 
+    def test_corrupt_entry_is_deleted_with_a_warning_and_recomputed(self, tmp_path):
+        """A torn/garbage ``.npz`` must not wedge the cache: reading it warns,
+        deletes the file, and the next write-read cycle works normally."""
+        store = NpzReferenceStore(tmp_path)
+        key = reference_key("kh", FAST)
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"PK\x03\x04torn-by-a-crash")
+        with pytest.warns(RuntimeWarning, match="corrupt reference-cache entry"):
+            assert store.read(key) is None
+        assert not path.exists(), "the corrupt entry must be deleted, not retried forever"
+        store.write(key, _reference(), "fp")
+        entry = store.read(key)
+        assert entry is not None and entry[1] == "fp"
+
     def test_no_tmp_files_left_behind(self, tmp_path):
         store = NpzReferenceStore(tmp_path)
         store.write(reference_key("kh", FAST), _reference(), "fp")
